@@ -1,0 +1,152 @@
+//! Hour-of-day and day-of-week profiles of hot-spot activity.
+//!
+//! Supporting analysis for Sec. V-D's observation that the models key
+//! on a specific daily time frame ("between 15 and 18 hours… the end
+//! of the workday and commuting"): where in the day and the week does
+//! hotness actually concentrate?
+
+use hotspot_core::matrix::Matrix;
+use hotspot_core::{DAYS_PER_WEEK, HOURS_PER_DAY};
+
+/// Fraction of hot labels per hour of day (length 24). Entry `h` is
+/// `P(hot | hour ≡ h)` over all sectors and days.
+pub fn hot_fraction_by_hour(y_hourly: &Matrix) -> [f64; HOURS_PER_DAY] {
+    let mut hot = [0u64; HOURS_PER_DAY];
+    let mut total = [0u64; HOURS_PER_DAY];
+    let (n, mh) = y_hourly.shape();
+    for i in 0..n {
+        let row = y_hourly.row(i);
+        for (j, &v) in row.iter().enumerate().take(mh) {
+            if v.is_nan() {
+                continue;
+            }
+            let h = j % HOURS_PER_DAY;
+            total[h] += 1;
+            if v >= 0.5 {
+                hot[h] += 1;
+            }
+        }
+    }
+    let mut out = [0.0; HOURS_PER_DAY];
+    for h in 0..HOURS_PER_DAY {
+        out[h] = if total[h] > 0 { hot[h] as f64 / total[h] as f64 } else { 0.0 };
+    }
+    out
+}
+
+/// Fraction of hot labels per day of week (length 7, 0 = the weekday
+/// of day index 0 — Monday under the paper-period calendar).
+pub fn hot_fraction_by_weekday(y_daily: &Matrix) -> [f64; DAYS_PER_WEEK] {
+    let mut hot = [0u64; DAYS_PER_WEEK];
+    let mut total = [0u64; DAYS_PER_WEEK];
+    let (n, md) = y_daily.shape();
+    for i in 0..n {
+        let row = y_daily.row(i);
+        for (d, &v) in row.iter().enumerate().take(md) {
+            if v.is_nan() {
+                continue;
+            }
+            let wd = d % DAYS_PER_WEEK;
+            total[wd] += 1;
+            if v >= 0.5 {
+                hot[wd] += 1;
+            }
+        }
+    }
+    let mut out = [0.0; DAYS_PER_WEEK];
+    for d in 0..DAYS_PER_WEEK {
+        out[d] = if total[d] > 0 { hot[d] as f64 / total[d] as f64 } else { 0.0 };
+    }
+    out
+}
+
+/// The contiguous hour range `[start, end)` (possibly wrapping
+/// midnight) of length `span` with the highest total hot fraction —
+/// the "busy window" the paper's importance analysis points at.
+pub fn busiest_hour_window(y_hourly: &Matrix, span: usize) -> (usize, usize) {
+    assert!(span >= 1 && span <= HOURS_PER_DAY, "span must be in 1..=24");
+    let profile = hot_fraction_by_hour(y_hourly);
+    let mut best_start = 0usize;
+    let mut best_sum = f64::MIN;
+    for start in 0..HOURS_PER_DAY {
+        let sum: f64 = (0..span).map(|o| profile[(start + o) % HOURS_PER_DAY]).sum();
+        if sum > best_sum {
+            best_sum = sum;
+            best_start = start;
+        }
+    }
+    (best_start, (best_start + span) % HOURS_PER_DAY)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn daytime_pattern() -> Matrix {
+        // Hot 09:00–17:00 every day, 2 sectors, 1 week.
+        Matrix::from_fn(2, 24 * 7, |_, j| {
+            if (9..17).contains(&(j % 24)) {
+                1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn hourly_profile_matches_pattern() {
+        let p = hot_fraction_by_hour(&daytime_pattern());
+        assert_eq!(p[10], 1.0);
+        assert_eq!(p[3], 0.0);
+        assert_eq!(p[8], 0.0);
+        assert_eq!(p[9], 1.0);
+    }
+
+    #[test]
+    fn busiest_window_found() {
+        let (start, end) = busiest_hour_window(&daytime_pattern(), 8);
+        assert_eq!(start, 9);
+        assert_eq!(end, 17);
+    }
+
+    #[test]
+    fn busiest_window_wraps_midnight() {
+        // Hot 22:00–02:00.
+        let y = Matrix::from_fn(1, 24 * 3, |_, j| {
+            let h = j % 24;
+            if h >= 22 || h < 2 {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let (start, end) = busiest_hour_window(&y, 4);
+        assert_eq!(start, 22);
+        assert_eq!(end, 2);
+    }
+
+    #[test]
+    fn weekday_profile() {
+        // Hot Mon-Fri only (days 0-4 of each week).
+        let y = Matrix::from_fn(3, 14, |_, d| if d % 7 < 5 { 1.0 } else { 0.0 });
+        let p = hot_fraction_by_weekday(&y);
+        assert_eq!(p[0], 1.0);
+        assert_eq!(p[4], 1.0);
+        assert_eq!(p[5], 0.0);
+        assert_eq!(p[6], 0.0);
+    }
+
+    #[test]
+    fn nan_labels_are_skipped() {
+        let mut y = daytime_pattern();
+        y.set(0, 10, f64::NAN);
+        let p = hot_fraction_by_hour(&y);
+        assert!(p.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "span")]
+    fn busiest_window_rejects_bad_span() {
+        busiest_hour_window(&daytime_pattern(), 0);
+    }
+}

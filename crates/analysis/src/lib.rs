@@ -1,0 +1,24 @@
+//! # hotspot-analysis
+//!
+//! The hot-spot dynamics analyses of Sec. III:
+//!
+//! * [`runs`] — duration statistics: hours/day, days/week, and weeks
+//!   as a hot spot (Fig. 6), and consecutive-run histograms (Fig. 7).
+//! * [`patterns`] — weekly day-of-week patterns and their top-k table
+//!   (Table II), plus the weekly-profile temporal-consistency
+//!   statistics.
+//! * [`spatial`] — hot-spot sequence correlation as a function of
+//!   physical distance: per-sector average, per-sector maximum, and
+//!   the best-anywhere variant (Fig. 8 A/B/C).
+
+pub mod hourly;
+pub mod patterns;
+pub mod runs;
+pub mod spatial;
+
+pub use hourly::{busiest_hour_window, hot_fraction_by_hour, hot_fraction_by_weekday};
+pub use patterns::{top_weekly_patterns, weekly_consistency, WeeklyPattern};
+pub use runs::{
+    consecutive_runs, days_per_week_histogram, hours_per_day_histogram, weeks_hot_histogram,
+};
+pub use spatial::{correlation_vs_distance, SpatialConfig, SpatialMode, SpatialSummary};

@@ -1,0 +1,215 @@
+//! Weekly day-of-week patterns (Table II) and their temporal
+//! consistency.
+
+use hotspot_core::matrix::Matrix;
+use hotspot_core::DAYS_PER_WEEK;
+use hotspot_eval::stats::pearson;
+
+/// One weekly pattern: a 7-bit mask, bit `d` set when weekday `d`
+/// (0 = Monday) is hot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WeeklyPattern(pub u8);
+
+impl WeeklyPattern {
+    /// Build from seven daily labels.
+    pub fn from_days(days: &[f64]) -> Self {
+        debug_assert_eq!(days.len(), DAYS_PER_WEEK);
+        let mut bits = 0u8;
+        for (d, &v) in days.iter().enumerate() {
+            if v >= 0.5 {
+                bits |= 1 << d;
+            }
+        }
+        WeeklyPattern(bits)
+    }
+
+    /// Whether no day is hot (the rank-1 "never hot" pattern the
+    /// paper's Table II excludes from counts).
+    pub fn is_never_hot(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Table II notation: the day letter when hot, `-` otherwise,
+    /// space-separated ("M T W T F S S", "M T W T F - -", …).
+    pub fn notation(self) -> String {
+        const LETTERS: [char; 7] = ['M', 'T', 'W', 'T', 'F', 'S', 'S'];
+        (0..DAYS_PER_WEEK)
+            .map(|d| if self.0 & (1 << d) != 0 { LETTERS[d] } else { '-' })
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Number of hot days in the pattern.
+    pub fn n_hot_days(self) -> u32 {
+        self.0.count_ones()
+    }
+}
+
+/// A ranked pattern with its relative share.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedPattern {
+    /// The pattern.
+    pub pattern: WeeklyPattern,
+    /// Raw occurrence count.
+    pub count: u64,
+    /// Share of all *non-never-hot* occurrences, in percent (the
+    /// normalisation Table II applies after excluding rank 1).
+    pub share_percent: f64,
+}
+
+/// Count weekly patterns over all (sector, week) cells of a daily
+/// label matrix and return the top `k` by count, never-hot excluded,
+/// with shares normalised over the non-never-hot total. Ties break by
+/// pattern bits for determinism.
+pub fn top_weekly_patterns(y_daily: &Matrix, k: usize) -> Vec<RankedPattern> {
+    let (n, md) = y_daily.shape();
+    let weeks = md / DAYS_PER_WEEK;
+    let mut counts = [0u64; 128];
+    for i in 0..n {
+        let row = y_daily.row(i);
+        for wk in 0..weeks {
+            let p = WeeklyPattern::from_days(&row[wk * DAYS_PER_WEEK..(wk + 1) * DAYS_PER_WEEK]);
+            counts[p.0 as usize] += 1;
+        }
+    }
+    let hot_total: u64 = counts.iter().skip(1).sum();
+    let mut ranked: Vec<RankedPattern> = (1..128)
+        .filter(|&bits| counts[bits] > 0)
+        .map(|bits| RankedPattern {
+            pattern: WeeklyPattern(bits as u8),
+            count: counts[bits],
+            share_percent: if hot_total > 0 {
+                100.0 * counts[bits] as f64 / hot_total as f64
+            } else {
+                0.0
+            },
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.count.cmp(&a.count).then(a.pattern.0.cmp(&b.pattern.0)));
+    ranked.truncate(k);
+    ranked
+}
+
+/// Per-sector temporal consistency of weekly profiles (Sec. III): the
+/// mean Pearson correlation between a sector's average weekly profile
+/// (over daily scores) and each individual week's profile. Sectors
+/// with fewer than two weeks or constant profiles are skipped.
+/// Returns one consistency value per retained sector.
+pub fn weekly_consistency(s_daily: &Matrix) -> Vec<f64> {
+    let (n, md) = s_daily.shape();
+    let weeks = md / DAYS_PER_WEEK;
+    if weeks < 2 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for i in 0..n {
+        let row = s_daily.row(i);
+        // Average weekly profile.
+        let mut avg = [0.0f64; DAYS_PER_WEEK];
+        for wk in 0..weeks {
+            for d in 0..DAYS_PER_WEEK {
+                avg[d] += row[wk * DAYS_PER_WEEK + d];
+            }
+        }
+        for a in &mut avg {
+            *a /= weeks as f64;
+        }
+        // Correlate each week against the average.
+        let mut correlations = Vec::with_capacity(weeks);
+        for wk in 0..weeks {
+            let week = &row[wk * DAYS_PER_WEEK..(wk + 1) * DAYS_PER_WEEK];
+            let r = pearson(&avg, week);
+            if r.is_finite() {
+                correlations.push(r);
+            }
+        }
+        if !correlations.is_empty() {
+            out.push(correlations.iter().sum::<f64>() / correlations.len() as f64);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn notation_matches_table_ii_style() {
+        assert_eq!(WeeklyPattern(0b0011111).notation(), "M T W T F - -");
+        assert_eq!(WeeklyPattern(0b1111111).notation(), "M T W T F S S");
+        assert_eq!(WeeklyPattern(0b0010000).notation(), "- - - - F - -");
+        assert_eq!(WeeklyPattern(0b0100000).notation(), "- - - - - S -");
+        assert_eq!(WeeklyPattern(0).notation(), "- - - - - - -");
+        assert!(WeeklyPattern(0).is_never_hot());
+        assert_eq!(WeeklyPattern(0b0011111).n_hot_days(), 5);
+    }
+
+    #[test]
+    fn from_days_thresholds() {
+        let p = WeeklyPattern::from_days(&[1.0, 0.0, 0.6, 0.4, 0.0, 0.0, 1.0]);
+        assert_eq!(p.0, 0b1000101);
+    }
+
+    #[test]
+    fn ranking_excludes_never_hot_and_normalises() {
+        // 3 sectors × 2 weeks: 2 workday weeks, 1 full week, 3 never.
+        let workday = [1.0, 1.0, 1.0, 1.0, 1.0, 0.0, 0.0];
+        let full = [1.0; 7];
+        let none = [0.0; 7];
+        let mut rows = Vec::new();
+        rows.extend_from_slice(&workday);
+        rows.extend_from_slice(&workday);
+        rows.extend_from_slice(&full);
+        rows.extend_from_slice(&none);
+        rows.extend_from_slice(&none);
+        rows.extend_from_slice(&none);
+        let y = Matrix::from_vec(3, 14, rows).unwrap();
+        let top = top_weekly_patterns(&y, 10);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].pattern.notation(), "M T W T F - -");
+        assert_eq!(top[0].count, 2);
+        assert!((top[0].share_percent - 200.0 / 3.0).abs() < 1e-9);
+        assert_eq!(top[1].pattern.notation(), "M T W T F S S");
+        let total: f64 = top.iter().map(|r| r.share_percent).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn consistency_high_for_repeating_profile() {
+        // Sector repeats the same weekly shape for 4 weeks.
+        let profile = [0.1, 0.2, 0.3, 0.4, 0.5, 0.9, 0.8];
+        let mut vals = Vec::new();
+        for _ in 0..4 {
+            vals.extend_from_slice(&profile);
+        }
+        let s = Matrix::from_vec(1, 28, vals).unwrap();
+        let c = weekly_consistency(&s);
+        assert_eq!(c.len(), 1);
+        assert!((c[0] - 1.0).abs() < 1e-9, "consistency {}", c[0]);
+    }
+
+    #[test]
+    fn consistency_lower_for_alternating_profile() {
+        // Alternate two opposite profiles: average is flat-ish; the
+        // per-week correlations cancel out.
+        let a = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7];
+        let b = [0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1];
+        let mut vals = Vec::new();
+        for wk in 0..4 {
+            vals.extend_from_slice(if wk % 2 == 0 { &a } else { &b });
+        }
+        let s = Matrix::from_vec(1, 28, vals).unwrap();
+        let c = weekly_consistency(&s);
+        assert!(c.is_empty() || c[0].abs() < 0.5, "consistency {c:?}");
+    }
+
+    #[test]
+    fn consistency_skips_constant_sectors() {
+        let s = Matrix::filled(2, 28, 0.5);
+        assert!(weekly_consistency(&s).is_empty());
+        let short = Matrix::zeros(2, 7);
+        assert!(weekly_consistency(&short).is_empty());
+    }
+}

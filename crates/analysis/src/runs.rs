@@ -1,0 +1,183 @@
+//! Duration statistics of the hot-spot labels (Figs. 6 and 7).
+
+use hotspot_core::matrix::Matrix;
+use hotspot_core::{DAYS_PER_WEEK, HOURS_PER_DAY};
+
+/// Histogram over `1..=24` of hot hours per (sector, day), counting
+/// only days with at least one hot hour (Fig. 6A). Index `c - 1`
+/// holds the count of days with exactly `c` hot hours.
+pub fn hours_per_day_histogram(y_hourly: &Matrix) -> Vec<u64> {
+    let mut counts = vec![0u64; HOURS_PER_DAY];
+    let (n, mh) = y_hourly.shape();
+    for i in 0..n {
+        let row = y_hourly.row(i);
+        for day in 0..mh / HOURS_PER_DAY {
+            let hot = row[day * HOURS_PER_DAY..(day + 1) * HOURS_PER_DAY]
+                .iter()
+                .filter(|&&v| v >= 0.5)
+                .count();
+            if hot > 0 {
+                counts[hot - 1] += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Histogram over `1..=7` of hot days per (sector, week), counting
+/// only weeks with at least one hot day (Fig. 6B).
+pub fn days_per_week_histogram(y_daily: &Matrix) -> Vec<u64> {
+    let mut counts = vec![0u64; DAYS_PER_WEEK];
+    let (n, md) = y_daily.shape();
+    for i in 0..n {
+        let row = y_daily.row(i);
+        for week in 0..md / DAYS_PER_WEEK {
+            let hot = row[week * DAYS_PER_WEEK..(week + 1) * DAYS_PER_WEEK]
+                .iter()
+                .filter(|&&v| v >= 0.5)
+                .count();
+            if hot > 0 {
+                counts[hot - 1] += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Histogram over `1..=n_weeks` of the number of weeks in which each
+/// sector was hot at least one day (Fig. 6C); sectors never hot are
+/// excluded. Index `c - 1` holds the count of sectors hot in exactly
+/// `c` weeks.
+pub fn weeks_hot_histogram(y_daily: &Matrix) -> Vec<u64> {
+    let (n, md) = y_daily.shape();
+    let n_weeks = md / DAYS_PER_WEEK;
+    let mut counts = vec![0u64; n_weeks];
+    for i in 0..n {
+        let row = y_daily.row(i);
+        let hot_weeks = (0..n_weeks)
+            .filter(|&wk| {
+                row[wk * DAYS_PER_WEEK..(wk + 1) * DAYS_PER_WEEK].iter().any(|&v| v >= 0.5)
+            })
+            .count();
+        if hot_weeks > 0 {
+            counts[hot_weeks - 1] += 1;
+        }
+    }
+    counts
+}
+
+/// Lengths of all maximal runs of consecutive hot samples in one
+/// label series (`NaN` breaks a run).
+pub fn consecutive_runs(series: &[f64]) -> Vec<usize> {
+    let mut runs = Vec::new();
+    let mut current = 0usize;
+    for &v in series {
+        if v >= 0.5 {
+            current += 1;
+        } else {
+            if current > 0 {
+                runs.push(current);
+            }
+            current = 0;
+        }
+    }
+    if current > 0 {
+        runs.push(current);
+    }
+    runs
+}
+
+/// Histogram of consecutive-run lengths over all sectors of a label
+/// matrix, up to `max_len` (longer runs land in the last bucket).
+/// Index `c - 1` holds runs of length `c` (Fig. 7).
+pub fn consecutive_run_histogram(labels: &Matrix, max_len: usize) -> Vec<u64> {
+    let mut counts = vec![0u64; max_len];
+    for i in 0..labels.rows() {
+        for run in consecutive_runs(labels.row(i)) {
+            counts[(run - 1).min(max_len - 1)] += 1;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hours_per_day_counts_hot_days_only() {
+        // One sector, two days: day 0 has 3 hot hours, day 1 none.
+        let mut vals = vec![0.0; 48];
+        vals[5] = 1.0;
+        vals[6] = 1.0;
+        vals[20] = 1.0;
+        let y = Matrix::from_vec(1, 48, vals).unwrap();
+        let h = hours_per_day_histogram(&y);
+        assert_eq!(h[2], 1); // exactly one day with 3 hot hours
+        assert_eq!(h.iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn days_per_week_counts() {
+        // Two weeks: week 0 has Mon+Fri hot, week 1 all hot.
+        let mut vals = vec![0.0; 14];
+        vals[0] = 1.0;
+        vals[4] = 1.0;
+        for v in vals.iter_mut().skip(7) {
+            *v = 1.0;
+        }
+        let y = Matrix::from_vec(1, 14, vals).unwrap();
+        let h = days_per_week_histogram(&y);
+        assert_eq!(h[1], 1); // one week with 2 days
+        assert_eq!(h[6], 1); // one week with 7 days
+    }
+
+    #[test]
+    fn weeks_hot_counts_sectors() {
+        // Sector 0 hot in 1 of 2 weeks; sector 1 hot in both; sector 2 never.
+        let mut m = Matrix::zeros(3, 14);
+        m.set(0, 3, 1.0);
+        m.set(1, 0, 1.0);
+        m.set(1, 8, 1.0);
+        let h = weeks_hot_histogram(&m);
+        assert_eq!(h, vec![1, 1]);
+    }
+
+    #[test]
+    fn run_extraction() {
+        let series = [0.0, 1.0, 1.0, 0.0, 1.0, 1.0, 1.0, 0.0, 1.0];
+        assert_eq!(consecutive_runs(&series), vec![2, 3, 1]);
+        assert_eq!(consecutive_runs(&[]), Vec::<usize>::new());
+        assert_eq!(consecutive_runs(&[1.0, 1.0]), vec![2]);
+        // NaN breaks runs.
+        assert_eq!(consecutive_runs(&[1.0, f64::NAN, 1.0]), vec![1, 1]);
+    }
+
+    #[test]
+    fn run_histogram_saturates() {
+        let mut m = Matrix::zeros(1, 10);
+        for j in 0..10 {
+            m.set(0, j, 1.0);
+        }
+        let h = consecutive_run_histogram(&m, 5);
+        assert_eq!(h[4], 1); // 10-run lands in the final bucket
+        assert_eq!(h.iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn sixteen_hour_pattern_shows_up() {
+        // A sector hot 06:00–22:00 every day for a week: hours/day
+        // histogram peaks at 16, consecutive-hours runs are all 16.
+        let y = Matrix::from_fn(1, 24 * 7, |_, j| {
+            if (6..22).contains(&(j % 24)) {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let h = hours_per_day_histogram(&y);
+        assert_eq!(h[15], 7);
+        let runs = consecutive_run_histogram(&y, 48);
+        assert_eq!(runs[15], 7);
+    }
+}

@@ -1,0 +1,283 @@
+//! Spatial correlation of hot-spot sequences (Fig. 8).
+//!
+//! For each sector, the paper takes either its 500 spatially closest
+//! sectors (panels A and B) or its 100 most *correlated* sectors
+//! anywhere (panel C), computes Pearson correlations between the
+//! hourly label sequences, distributes the pairs into log-spaced
+//! distance buckets, and reduces per sector by average (A) or maximum
+//! (B and C). The figures then show the across-sector distribution
+//! per bucket.
+
+use hotspot_core::matrix::Matrix;
+use hotspot_eval::histogram::log_spaced_edges;
+use hotspot_eval::stats::Summary;
+
+/// Which per-sector reduction Fig. 8 panel to compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpatialMode {
+    /// Panel A: per-sector *average* correlation over the nearest
+    /// neighbours in each bucket.
+    AverageOfNearest,
+    /// Panel B: per-sector *maximum* over the nearest neighbours.
+    MaxOfNearest,
+    /// Panel C: per-sector maximum over the globally most correlated
+    /// sectors, bucketed by their distance.
+    BestAnywhere,
+}
+
+impl SpatialMode {
+    /// Stable label.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpatialMode::AverageOfNearest => "average",
+            SpatialMode::MaxOfNearest => "maximum",
+            SpatialMode::BestAnywhere => "best",
+        }
+    }
+}
+
+/// Parameters of the spatial analysis.
+#[derive(Debug, Clone)]
+pub struct SpatialConfig {
+    /// Nearest neighbours per sector (the paper uses 500).
+    pub n_neighbors: usize,
+    /// Most-correlated sectors per sector for panel C (paper: 100).
+    pub n_best: usize,
+    /// Distance bucket edges in km (log-spaced, leading zero bucket).
+    pub edges: Vec<f64>,
+    /// Reduction mode.
+    pub mode: SpatialMode,
+}
+
+impl SpatialConfig {
+    /// Paper-like defaults at a given mode: 500 neighbours, 100 best,
+    /// buckets 0, 0.1 … 204.8 km.
+    pub fn paper(mode: SpatialMode) -> Self {
+        SpatialConfig {
+            n_neighbors: 500,
+            n_best: 100,
+            edges: log_spaced_edges(0.1, 204.8, 11),
+            mode,
+        }
+    }
+}
+
+/// Across-sector distribution of the per-sector reduced correlation,
+/// one summary per distance bucket.
+#[derive(Debug, Clone)]
+pub struct SpatialSummary {
+    /// Bucket edges used.
+    pub edges: Vec<f64>,
+    /// Per-bucket summaries (length = edges.len() − 1); buckets with
+    /// no data hold an all-`NaN` summary with `n = 0`.
+    pub buckets: Vec<Summary>,
+}
+
+/// Standardise each label row to zero mean / unit norm so Pearson
+/// reduces to a dot product. Rows with no variance become `None`.
+fn standardised_rows(labels: &Matrix) -> Vec<Option<Vec<f64>>> {
+    let (n, m) = labels.shape();
+    (0..n)
+        .map(|i| {
+            let row = labels.row(i);
+            let finite: Vec<f64> = row.iter().map(|&v| if v.is_nan() { 0.0 } else { v }).collect();
+            let mean = finite.iter().sum::<f64>() / m as f64;
+            let mut centered: Vec<f64> = finite.iter().map(|v| v - mean).collect();
+            let norm = centered.iter().map(|v| v * v).sum::<f64>().sqrt();
+            if norm <= 1e-12 {
+                None
+            } else {
+                for v in &mut centered {
+                    *v /= norm;
+                }
+                Some(centered)
+            }
+        })
+        .collect()
+}
+
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Run the Fig. 8 analysis.
+///
+/// `labels` is the hourly label matrix `Yʰ`; `positions[i]` the planar
+/// km coordinates of sector `i`. Sectors whose label sequence has no
+/// variance (never hot / always hot) are skipped as correlation
+/// anchors, matching Pearson's domain.
+///
+/// # Panics
+/// Panics if `positions.len()` differs from the sector count.
+pub fn correlation_vs_distance(
+    labels: &Matrix,
+    positions: &[(f64, f64)],
+    config: &SpatialConfig,
+) -> SpatialSummary {
+    let n = labels.rows();
+    assert_eq!(positions.len(), n, "one position per sector");
+    let rows = standardised_rows(labels);
+    let n_buckets = config.edges.len() - 1;
+    // bucket_values[b] collects the per-sector reduced value for b.
+    let mut bucket_values: Vec<Vec<f64>> = vec![Vec::new(); n_buckets];
+
+    let bucket_of = |d: f64| -> usize {
+        // Linear scan is fine: ~12 buckets.
+        let mut b = n_buckets - 1;
+        for (idx, w) in config.edges.windows(2).enumerate() {
+            if d >= w[0] && d < w[1] {
+                b = idx;
+                break;
+            }
+        }
+        b
+    };
+
+    for i in 0..n {
+        let Some(anchor) = &rows[i] else { continue };
+        // Candidate set: nearest k or best-correlated k.
+        let mut candidates: Vec<(usize, f64)> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| {
+                let dx = positions[i].0 - positions[j].0;
+                let dy = positions[i].1 - positions[j].1;
+                (j, (dx * dx + dy * dy).sqrt())
+            })
+            .collect();
+        match config.mode {
+            SpatialMode::AverageOfNearest | SpatialMode::MaxOfNearest => {
+                candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distance"));
+                candidates.truncate(config.n_neighbors);
+            }
+            SpatialMode::BestAnywhere => {
+                let mut scored: Vec<(usize, f64, f64)> = candidates
+                    .into_iter()
+                    .filter_map(|(j, d)| rows[j].as_ref().map(|r| (j, d, dot(anchor, r))))
+                    .collect();
+                scored.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite correlation"));
+                scored.truncate(config.n_best);
+                candidates = scored.into_iter().map(|(j, d, _)| (j, d)).collect();
+            }
+        }
+        // Distribute correlations into buckets for this sector.
+        let mut per_bucket: Vec<Vec<f64>> = vec![Vec::new(); n_buckets];
+        for (j, d) in candidates {
+            let Some(other) = &rows[j] else { continue };
+            per_bucket[bucket_of(d)].push(dot(anchor, other));
+        }
+        for (b, vals) in per_bucket.into_iter().enumerate() {
+            if vals.is_empty() {
+                continue;
+            }
+            let reduced = match config.mode {
+                SpatialMode::AverageOfNearest => vals.iter().sum::<f64>() / vals.len() as f64,
+                SpatialMode::MaxOfNearest | SpatialMode::BestAnywhere => {
+                    vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                }
+            };
+            bucket_values[b].push(reduced);
+        }
+    }
+
+    SpatialSummary {
+        edges: config.edges.clone(),
+        buckets: bucket_values.iter().map(|v| Summary::of(v)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic layout: towers at x = 0, 1, 50 km; two sectors per
+    /// tower. Sectors on the same tower share a label sequence;
+    /// sector 4 (at 50 km) shares the tower-0 sequence too (the
+    /// far-away twin of Fig. 8C). Sector 5 is anti-correlated.
+    fn fixture() -> (Matrix, Vec<(f64, f64)>) {
+        let m = 24 * 7;
+        let base: Vec<f64> =
+            (0..m).map(|j| if (6..22).contains(&(j % 24)) { 1.0 } else { 0.0 }).collect();
+        let anti: Vec<f64> = base.iter().map(|v| 1.0 - v).collect();
+        let noise: Vec<f64> = (0..m).map(|j| if j % 5 == 0 { 1.0 } else { 0.0 }).collect();
+        let mut data = Vec::new();
+        data.extend_from_slice(&base); // 0 @ tower A
+        data.extend_from_slice(&base); // 1 @ tower A
+        data.extend_from_slice(&noise); // 2 @ tower B
+        data.extend_from_slice(&anti); // 3 @ tower B
+        data.extend_from_slice(&base); // 4 @ far tower C (twin)
+        data.extend_from_slice(&anti); // 5 @ far tower C
+        let labels = Matrix::from_vec(6, m, data).unwrap();
+        let positions = vec![
+            (0.0, 0.0),
+            (0.0, 0.0),
+            (1.0, 0.0),
+            (1.0, 0.0),
+            (50.0, 0.0),
+            (50.0, 0.0),
+        ];
+        (labels, positions)
+    }
+
+    fn config(mode: SpatialMode) -> SpatialConfig {
+        SpatialConfig {
+            n_neighbors: 5,
+            n_best: 3,
+            edges: log_spaced_edges(0.5, 64.0, 7),
+            mode,
+        }
+    }
+
+    #[test]
+    fn same_tower_bucket_has_high_average() {
+        let (labels, pos) = fixture();
+        let s = correlation_vs_distance(&labels, &pos, &config(SpatialMode::AverageOfNearest));
+        // Bucket 0 = distance 0 (co-tower). Sector 0↔1 correlate at 1.
+        let b0 = &s.buckets[0];
+        assert!(b0.n > 0);
+        assert!(b0.p95 > 0.99, "co-tower p95 {}", b0.p95);
+    }
+
+    #[test]
+    fn best_anywhere_finds_far_twin() {
+        let (labels, pos) = fixture();
+        let s = correlation_vs_distance(&labels, &pos, &config(SpatialMode::BestAnywhere));
+        // The 50 km bucket must contain a ~1.0 best correlation
+        // (sector 0's twin at sector 4).
+        let far_bucket = s
+            .edges
+            .windows(2)
+            .position(|w| w[0] <= 50.0 && 50.0 < w[1])
+            .expect("bucket for 50 km");
+        let b = &s.buckets[far_bucket];
+        assert!(b.n > 0, "far bucket empty");
+        assert!(b.p95 > 0.99, "far twin correlation {}", b.p95);
+    }
+
+    #[test]
+    fn max_dominates_average() {
+        let (labels, pos) = fixture();
+        let avg = correlation_vs_distance(&labels, &pos, &config(SpatialMode::AverageOfNearest));
+        let max = correlation_vs_distance(&labels, &pos, &config(SpatialMode::MaxOfNearest));
+        for (a, m) in avg.buckets.iter().zip(&max.buckets) {
+            if a.n > 0 && m.n > 0 {
+                assert!(m.p50 >= a.p50 - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_sectors_are_skipped() {
+        let labels = Matrix::filled(3, 48, 0.0); // never hot: zero variance
+        let pos = vec![(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)];
+        let s = correlation_vs_distance(&labels, &pos, &config(SpatialMode::AverageOfNearest));
+        assert!(s.buckets.iter().all(|b| b.n == 0));
+    }
+
+    #[test]
+    fn mode_names() {
+        assert_eq!(SpatialMode::AverageOfNearest.name(), "average");
+        assert_eq!(SpatialMode::MaxOfNearest.name(), "maximum");
+        assert_eq!(SpatialMode::BestAnywhere.name(), "best");
+    }
+}

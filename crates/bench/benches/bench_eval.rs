@@ -1,0 +1,36 @@
+//! Criterion microbenches for the evaluation metrics: average
+//! precision, PR curves, KS test, Pearson correlation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hotspot_eval::ap::{average_precision, pr_curve};
+use hotspot_eval::ks::ks_two_sample;
+use hotspot_eval::stats::pearson;
+use std::hint::black_box;
+
+fn bench_eval(c: &mut Criterion) {
+    let n = 5000;
+    let labels: Vec<bool> = (0..n).map(|i| i % 29 == 0).collect();
+    let scores: Vec<f64> = (0..n).map(|i| ((i * 37 % 97) as f64) / 97.0).collect();
+    c.bench_function("average_precision_5000", |b| {
+        b.iter(|| average_precision(black_box(&labels), black_box(&scores)))
+    });
+    c.bench_function("pr_curve_5000", |b| {
+        b.iter(|| pr_curve(black_box(&labels), black_box(&scores)))
+    });
+
+    let a: Vec<f64> = (0..2000).map(|i| ((i * 17 % 101) as f64) / 101.0).collect();
+    let d: Vec<f64> = (0..2000).map(|i| ((i * 13 % 103) as f64) / 103.0 + 0.05).collect();
+    c.bench_function("ks_two_sample_2000", |b| {
+        b.iter(|| ks_two_sample(black_box(&a), black_box(&d)))
+    });
+    c.bench_function("pearson_2000", |b| {
+        b.iter(|| pearson(black_box(&a), black_box(&d)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_eval
+}
+criterion_main!(benches);

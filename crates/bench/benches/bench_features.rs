@@ -1,0 +1,34 @@
+//! Criterion microbenches for the three feature representations
+//! (RF-R / RF-F1 / RF-F2) over a one-week window.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hotspot_features::builders::{DailyPercentiles, FeatureBuilder, HandCrafted, RawFlatten};
+use hotspot_core::tensor::Tensor3;
+use std::hint::black_box;
+
+fn x_fixture() -> Tensor3 {
+    Tensor3::from_fn(4, 24 * 21, 30, |i, j, k| ((i * 13 + j * 7 + k) % 89) as f64 / 10.0)
+}
+
+fn bench_builders(c: &mut Criterion) {
+    let x = x_fixture();
+    c.bench_function("raw_flatten_w7", |b| {
+        b.iter(|| RawFlatten.build(black_box(&x), 0, 14, 7))
+    });
+    c.bench_function("daily_percentiles_w7", |b| {
+        b.iter(|| DailyPercentiles.build(black_box(&x), 0, 14, 7))
+    });
+    c.bench_function("handcrafted_w7", |b| {
+        b.iter(|| HandCrafted.build(black_box(&x), 0, 14, 7))
+    });
+    c.bench_function("daily_percentiles_w21", |b| {
+        b.iter(|| DailyPercentiles.build(black_box(&x), 0, 21, 21))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_builders
+}
+criterion_main!(benches);

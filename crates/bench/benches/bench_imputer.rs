@@ -1,0 +1,51 @@
+//! Criterion microbenches for the imputers: forward fill, mean, and
+//! one autoencoder training step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hotspot_nn::autoencoder::{Autoencoder, AutoencoderConfig};
+use hotspot_nn::imputer::{ForwardFillImputer, Imputer, MeanImputer};
+use hotspot_nn::linalg::Mat;
+use hotspot_core::tensor::Tensor3;
+use std::hint::black_box;
+
+fn gapped(n: usize, hours: usize) -> Tensor3 {
+    let mut t = Tensor3::from_fn(n, hours, 21, |i, j, k| ((i + j + k) % 13) as f64);
+    for i in 0..n {
+        for j in (5..hours).step_by(17) {
+            t.set(i, j, (i + j) % 21, f64::NAN);
+        }
+    }
+    t
+}
+
+fn bench_imputers(c: &mut Criterion) {
+    c.bench_function("forward_fill_20x672", |b| {
+        b.iter_batched(
+            || gapped(20, 672),
+            |mut t| black_box(ForwardFillImputer.impute(&mut t)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("mean_impute_20x672", |b| {
+        b.iter_batched(
+            || gapped(20, 672),
+            |mut t| black_box(MeanImputer.impute(&mut t)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    // One autoencoder step on a day-slice-sized input (24 x 21 = 504).
+    let mut ae = Autoencoder::new(&AutoencoderConfig { depth: 3, ..AutoencoderConfig::paper(504) });
+    let batch = Mat::from_fn(32, 504, |r, c| ((r * 7 + c) % 19) as f64 / 19.0);
+    let mask = Mat::from_fn(32, 504, |_, _| 1.0);
+    c.bench_function("autoencoder_step_32x504_depth3", |b| {
+        b.iter(|| ae.train_step(black_box(&batch), black_box(&batch), black_box(&mask)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_imputers
+}
+criterion_main!(benches);

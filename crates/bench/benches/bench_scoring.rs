@@ -1,0 +1,48 @@
+//! Criterion microbenches for the scoring pipeline (Eqs. 1-4):
+//! raw scoring, temporal integration, and label derivation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hotspot_core::integrate::{integrate, Resolution};
+use hotspot_core::labels::hot_labels;
+use hotspot_core::pipeline::ScorePipeline;
+use hotspot_core::score::{raw_scores, ScoreConfig};
+use hotspot_core::tensor::Tensor3;
+use std::hint::black_box;
+
+fn kpi_fixture(n: usize, hours: usize) -> Tensor3 {
+    let catalog = hotspot_core::kpi::KpiCatalog::standard();
+    Tensor3::from_fn(n, hours, 21, |i, j, k| {
+        let def = &catalog.defs()[k];
+        let frac = (((i * 31 + j * 7 + k * 3) % 100) as f64) / 100.0;
+        def.nominal + (def.degraded - def.nominal) * frac * 0.6
+    })
+}
+
+fn bench_scoring(c: &mut Criterion) {
+    let kpis = kpi_fixture(50, 168 * 4);
+    let config = ScoreConfig::standard();
+    c.bench_function("raw_scores_50x672", |b| {
+        b.iter(|| raw_scores(black_box(&kpis), black_box(&config)).unwrap())
+    });
+
+    let scores = raw_scores(&kpis, &config).unwrap();
+    c.bench_function("integrate_daily_50x672", |b| {
+        b.iter(|| integrate(black_box(&scores), Resolution::Daily).unwrap())
+    });
+    c.bench_function("integrate_weekly_50x672", |b| {
+        b.iter(|| integrate(black_box(&scores), Resolution::Weekly).unwrap())
+    });
+    c.bench_function("hot_labels_50x672", |b| {
+        b.iter(|| hot_labels(black_box(&scores), 0.4))
+    });
+    c.bench_function("full_pipeline_50x672", |b| {
+        b.iter(|| ScorePipeline::standard().run(black_box(&kpis)).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_scoring
+}
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion microbenches for the synthetic network generator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hotspot_simnet::network::{NetworkConfig, SyntheticNetwork};
+use std::hint::black_box;
+
+fn bench_simnet(c: &mut Criterion) {
+    let small = NetworkConfig::small().with_sectors(40).with_weeks(2);
+    c.bench_function("generate_40_sectors_2_weeks", |b| {
+        b.iter(|| SyntheticNetwork::generate(black_box(&small), 42))
+    });
+
+    let net = SyntheticNetwork::generate(&small, 42);
+    c.bench_function("ground_truth_restore", |b| {
+        b.iter(|| black_box(net.ground_truth()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_simnet
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion microbenches for the tree substrate: CART fit/predict,
+//! forest fit, GBDT fit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hotspot_trees::{
+    Dataset, DecisionTree, GradientBoosting, GradientBoostingParams, RandomForest,
+    RandomForestParams, TreeParams,
+};
+use std::hint::black_box;
+
+fn dataset(n: usize, d: usize) -> Dataset {
+    let mut features = Vec::with_capacity(n * d);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        for k in 0..d {
+            features.push((((i * 37 + k * 11) % 97) as f64) / 97.0);
+        }
+        labels.push((i * 37 % 97) > 48);
+    }
+    let mut data = Dataset::new(features, d, labels).unwrap();
+    data.balance_weights();
+    data
+}
+
+fn bench_trees(c: &mut Criterion) {
+    let data = dataset(500, 50);
+    c.bench_function("tree_fit_500x50", |b| {
+        b.iter(|| DecisionTree::fit(black_box(&data), &TreeParams::paper_tree()))
+    });
+
+    let tree = DecisionTree::fit(&data, &TreeParams::paper_tree());
+    c.bench_function("tree_predict_500", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..data.n_samples() {
+                acc += tree.predict_proba(data.row(i));
+            }
+            black_box(acc)
+        })
+    });
+
+    c.bench_function("forest10_fit_500x50", |b| {
+        b.iter(|| {
+            RandomForest::fit(
+                black_box(&data),
+                &RandomForestParams { n_trees: 10, n_threads: Some(1), ..RandomForestParams::paper() },
+            )
+        })
+    });
+
+    c.bench_function("gbdt20_fit_500x50", |b| {
+        b.iter(|| {
+            GradientBoosting::fit(
+                black_box(&data),
+                &GradientBoostingParams { n_rounds: 20, ..Default::default() },
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_trees
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Fig. 10 — "be a hot spot" forecast: average ratio Δ vs. the
+//! Average baseline as a function of `h` for the classifier models
+//! (`w = 7`). The paper reports Tree ≈ +6% and RF-F1 ≈ +14% on
+//! average.
+
+use hotspot_bench::experiments::{context, horizon_sweep, print_delta_by_h, print_preamble};
+use hotspot_bench::report::print_section;
+use hotspot_bench::{prepare, RunOptions};
+use hotspot_forecast::context::Target;
+use hotspot_forecast::models::ModelSpec;
+
+fn main() {
+    let opts = RunOptions::from_env();
+    let prep = prepare(&opts);
+    print_preamble("fig10_delta_vs_horizon (be a hot spot, w=7)", &opts, &prep);
+
+    let ctx = context(&prep, Target::BeHotSpot);
+    let models = vec![
+        ModelSpec::Average,
+        ModelSpec::Tree,
+        ModelSpec::RfR,
+        ModelSpec::RfF1,
+        ModelSpec::RfF2,
+    ];
+    let result = horizon_sweep(&ctx, &opts, &models, 7);
+    print_section(format!("{} grid cells evaluated", result.n_evaluated()).as_str());
+    let classifiers = vec![ModelSpec::Tree, ModelSpec::RfR, ModelSpec::RfF1, ModelSpec::RfF2];
+    print_delta_by_h(&result, &classifiers, 7);
+}

@@ -1,0 +1,32 @@
+//! Fig. 11 — "become a hot spot" forecast: average lift Λ vs. `h`
+//! for all eight models at `w = 7`.
+
+use hotspot_bench::experiments::{
+    context, horizon_sweep, print_delta_by_h, print_lift_by_h, print_preamble,
+};
+use hotspot_bench::report::print_section;
+use hotspot_bench::{prepare, RunOptions};
+use hotspot_forecast::context::Target;
+use hotspot_forecast::models::ModelSpec;
+
+fn main() {
+    let mut opts = RunOptions::from_env();
+    // Emergences are rare events; at reduced sector counts the paper's
+    // failure frequency leaves most evaluation days without a single
+    // positive. Default to an emergence-rich rate (override with
+    // --failure-rate).
+    if opts.failure_rate.is_none() {
+        opts.failure_rate = Some(0.08);
+    }
+    let prep = prepare(&opts);
+    print_preamble("fig11_become_lift (become a hot spot, w=7)", &opts, &prep);
+
+    let ctx = context(&prep, Target::BecomeHotSpot);
+    let models = ModelSpec::PAPER.to_vec();
+    let result = horizon_sweep(&ctx, &opts, &models, 7);
+    print_section(format!("{} grid cells evaluated", result.n_evaluated()).as_str());
+    print_lift_by_h(&result, &models, 7);
+    print_section("delta vs Average (the companion ratio figure)");
+    let classifiers = vec![ModelSpec::Tree, ModelSpec::RfR, ModelSpec::RfF1, ModelSpec::RfF2];
+    print_delta_by_h(&result, &classifiers, 7);
+}

@@ -1,0 +1,190 @@
+//! Minimal CLI option parsing for the experiment binaries (no
+//! external argument-parsing dependency needed for `--key value`
+//! flags).
+
+/// Which imputer fills the injected gaps before scoring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImputerChoice {
+    /// Forward fill (fast default for experiments).
+    ForwardFill,
+    /// Per-KPI mean.
+    Mean,
+    /// The paper's denoising autoencoder.
+    Autoencoder,
+}
+
+/// Options shared by all experiment binaries.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Number of simulated sectors.
+    pub sectors: usize,
+    /// Observation weeks.
+    pub weeks: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Trees per forest / GBDT rounds.
+    pub trees: usize,
+    /// Trailing label days stacked into classifier training sets.
+    pub train_days: usize,
+    /// Step over the Table III `t` axis (1 = every day, 6 = thinned).
+    pub t_step: usize,
+    /// Imputer choice.
+    pub imputer: ImputerChoice,
+    /// Hardware failures per tower per week (None = simulator
+    /// default; the become-target experiments default to a higher,
+    /// emergence-rich rate so evaluation days have positives).
+    pub failure_rate: Option<f64>,
+    /// Paper-scale grid (overrides the thinned defaults).
+    pub full: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            sectors: 200,
+            weeks: 18,
+            seed: 7,
+            trees: 25,
+            train_days: 10,
+            t_step: 12,
+            imputer: ImputerChoice::ForwardFill,
+            failure_rate: None,
+            full: false,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Parse from an iterator of argument strings (excluding argv[0]).
+    ///
+    /// Unknown flags abort with a usage message, so typos never run a
+    /// multi-minute experiment with silently-default parameters.
+    pub fn parse(args: impl Iterator<Item = String>) -> Self {
+        let mut opts = RunOptions::default();
+        let mut args = args.peekable();
+        let take = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                std::process::exit(2);
+            })
+        };
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--sectors" => opts.sectors = parse_num(&take(&mut args, "--sectors"), "--sectors"),
+                "--weeks" => opts.weeks = parse_num(&take(&mut args, "--weeks"), "--weeks"),
+                "--seed" => opts.seed = parse_num(&take(&mut args, "--seed"), "--seed") as u64,
+                "--trees" => opts.trees = parse_num(&take(&mut args, "--trees"), "--trees"),
+                "--train-days" => {
+                    opts.train_days = parse_num(&take(&mut args, "--train-days"), "--train-days")
+                }
+                "--t-step" => opts.t_step = parse_num(&take(&mut args, "--t-step"), "--t-step"),
+                "--imputer" => {
+                    opts.imputer = match take(&mut args, "--imputer").as_str() {
+                        "ffill" => ImputerChoice::ForwardFill,
+                        "mean" => ImputerChoice::Mean,
+                        "ae" => ImputerChoice::Autoencoder,
+                        other => {
+                            eprintln!("unknown imputer '{other}' (ffill|mean|ae)");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+                "--failure-rate" => {
+                    let v = take(&mut args, "--failure-rate");
+                    opts.failure_rate = Some(v.parse().unwrap_or_else(|_| {
+                        eprintln!("invalid number '{v}' for --failure-rate");
+                        std::process::exit(2);
+                    }));
+                }
+                "--full" => opts.full = true,
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --sectors N --weeks N --seed N --trees N --train-days N \
+                         --t-step N --imputer (ffill|mean|ae) --failure-rate F --full"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag '{other}' (try --help)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        if opts.full {
+            opts.t_step = 1;
+            opts.trees = opts.trees.max(100);
+        }
+        opts
+    }
+
+    /// Parse from the process arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// The Table III `t` values this run evaluates (thinned by
+    /// `t_step`), clipped so `t + max(h)` stays inside the series.
+    pub fn ts(&self, n_days: usize, max_h: usize) -> Vec<usize> {
+        (52..=87)
+            .step_by(self.t_step.max(1))
+            .filter(|t| t + max_h < n_days)
+            .collect()
+    }
+}
+
+fn parse_num(s: &str, flag: &str) -> usize {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("invalid number '{s}' for {flag}");
+        std::process::exit(2);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> RunOptions {
+        RunOptions::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_without_args() {
+        let o = parse(&[]);
+        assert_eq!(o.sectors, 200);
+        assert_eq!(o.weeks, 18);
+        assert_eq!(o.imputer, ImputerChoice::ForwardFill);
+        assert!(!o.full);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let o = parse(&[
+            "--sectors", "50", "--weeks", "6", "--seed", "9", "--trees", "40", "--train-days",
+            "3", "--t-step", "4", "--imputer", "ae",
+        ]);
+        assert_eq!(o.sectors, 50);
+        assert_eq!(o.weeks, 6);
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.trees, 40);
+        assert_eq!(o.train_days, 3);
+        assert_eq!(o.t_step, 4);
+        assert_eq!(o.imputer, ImputerChoice::Autoencoder);
+    }
+
+    #[test]
+    fn full_flag_expands_grid() {
+        let o = parse(&["--full"]);
+        assert_eq!(o.t_step, 1);
+        assert!(o.trees >= 100);
+    }
+
+    #[test]
+    fn ts_respects_series_length() {
+        let o = parse(&["--t-step", "6"]);
+        let ts = o.ts(126, 29);
+        assert_eq!(ts, vec![52, 58, 64, 70, 76, 82]);
+        // Clipped when the series is short.
+        let clipped = o.ts(90, 29);
+        assert_eq!(clipped, vec![52, 58]);
+    }
+}

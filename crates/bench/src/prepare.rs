@@ -1,0 +1,109 @@
+//! The standard dataset-preparation pipeline shared by every
+//! experiment: simulate → sector-filter → impute → score.
+
+use crate::options::{ImputerChoice, RunOptions};
+use hotspot_core::missing::sector_filter_mask;
+use hotspot_core::pipeline::{ScorePipeline, ScoredNetwork};
+use hotspot_core::tensor::Tensor3;
+use hotspot_nn::imputer::{AutoencoderImputer, ForwardFillImputer, Imputer, ImputerConfig, MeanImputer};
+use hotspot_simnet::network::{NetworkConfig, SyntheticNetwork};
+
+/// Everything an experiment needs, post-pipeline.
+pub struct Prepared {
+    /// The generated network (pre-filter metadata and ground truth).
+    pub network: SyntheticNetwork,
+    /// Imputed, sector-filtered KPI tensor.
+    pub kpis: Tensor3,
+    /// Scored products over `kpis`.
+    pub scored: ScoredNetwork,
+    /// Planar positions (km) of the retained sectors.
+    pub positions: Vec<(f64, f64)>,
+    /// Original sector index of each retained sector.
+    pub kept: Vec<usize>,
+    /// Sectors discarded by the Sec. II-C filter.
+    pub n_filtered: usize,
+    /// Gap cells filled by the imputer.
+    pub n_imputed: usize,
+}
+
+/// Run the standard pipeline for the given options.
+///
+/// # Panics
+/// Panics if the filter discards every sector (does not happen at the
+/// default missingness rates).
+pub fn prepare(opts: &RunOptions) -> Prepared {
+    let mut config = NetworkConfig::paper_shaped()
+        .with_sectors(opts.sectors)
+        .with_weeks(opts.weeks);
+    if let Some(rate) = opts.failure_rate {
+        config.events.failures_per_tower_week = rate;
+    }
+    let network = SyntheticNetwork::generate(&config, opts.seed);
+
+    // Sec. II-C sector filter.
+    let mask = sector_filter_mask(network.kpis(), 0.5).expect("valid threshold");
+    let kept: Vec<usize> =
+        mask.iter().enumerate().filter(|(_, &k)| k).map(|(i, _)| i).collect();
+    assert!(!kept.is_empty(), "sector filter discarded everything");
+    let n_filtered = mask.len() - kept.len();
+    let mut kpis = network.kpis().retain_sectors(&mask).expect("mask matches");
+
+    // Imputation.
+    let n_imputed = match opts.imputer {
+        ImputerChoice::ForwardFill => ForwardFillImputer.impute(&mut kpis),
+        ImputerChoice::Mean => MeanImputer.impute(&mut kpis),
+        ImputerChoice::Autoencoder => {
+            AutoencoderImputer::new(ImputerConfig::fast()).impute(&mut kpis)
+        }
+    };
+    // Whatever gaps remain (e.g. a KPI missing for an entire sector)
+    // fall back to the mean imputer so scoring sees finite data.
+    let n_imputed = n_imputed + MeanImputer.impute(&mut kpis);
+
+    let scored = ScorePipeline::standard().run(&kpis).expect("score pipeline");
+    let positions: Vec<(f64, f64)> = kept
+        .iter()
+        .map(|&i| {
+            let s = &network.geography().sectors()[i];
+            (s.x, s.y)
+        })
+        .collect();
+
+    Prepared { network, kpis, scored, positions, kept, n_filtered, n_imputed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_opts() -> RunOptions {
+        RunOptions { sectors: 60, weeks: 3, seed: 11, ..Default::default() }
+    }
+
+    #[test]
+    fn pipeline_produces_consistent_shapes() {
+        let p = prepare(&tiny_opts());
+        assert_eq!(p.kpis.n_sectors(), p.kept.len());
+        assert_eq!(p.positions.len(), p.kept.len());
+        assert_eq!(p.scored.n_sectors(), p.kept.len());
+        assert_eq!(p.kept.len() + p.n_filtered, 60);
+        assert_eq!(p.kpis.count_nan(), 0, "all gaps imputed");
+        assert!(p.n_imputed > 0);
+    }
+
+    #[test]
+    fn imputer_choices_all_run() {
+        for imp in [ImputerChoice::ForwardFill, ImputerChoice::Mean] {
+            let p = prepare(&RunOptions { imputer: imp, ..tiny_opts() });
+            assert_eq!(p.kpis.count_nan(), 0);
+        }
+    }
+
+    #[test]
+    fn preparation_is_deterministic() {
+        let a = prepare(&tiny_opts());
+        let b = prepare(&tiny_opts());
+        assert!(a.kpis.bit_eq(&b.kpis));
+        assert_eq!(a.kept, b.kept);
+    }
+}

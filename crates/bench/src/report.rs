@@ -1,0 +1,98 @@
+//! TSV report printing shared by the experiment binaries.
+//!
+//! Output convention: a `# section` line, a header line, then one
+//! tab-separated row per data point. Numbers print with enough
+//! precision to be re-plotted but stay diff-friendly.
+
+/// Print a section banner: `# <title>`.
+pub fn print_section(title: &str) {
+    println!("# {title}");
+}
+
+/// Print a tab-separated header row.
+pub fn print_header(columns: &[&str]) {
+    println!("{}", columns.join("\t"));
+}
+
+/// Print one tab-separated data row; floats use up to 4 significant
+/// decimals, `NaN` prints as `nan`.
+pub fn print_row(cells: &[Cell]) {
+    let rendered: Vec<String> = cells.iter().map(Cell::render).collect();
+    println!("{}", rendered.join("\t"));
+}
+
+/// One value in a report row.
+pub enum Cell {
+    /// Text.
+    Str(String),
+    /// Integer.
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Float (4-decimal rendering).
+    F(f64),
+}
+
+impl Cell {
+    fn render(&self) -> String {
+        match self {
+            Cell::Str(s) => s.clone(),
+            Cell::Int(v) => v.to_string(),
+            Cell::UInt(v) => v.to_string(),
+            Cell::F(v) => {
+                if v.is_nan() {
+                    "nan".to_string()
+                } else {
+                    format!("{v:.4}")
+                }
+            }
+        }
+    }
+}
+
+/// Shorthand constructors.
+impl From<&str> for Cell {
+    fn from(s: &str) -> Self {
+        Cell::Str(s.to_string())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(s: String) -> Self {
+        Cell::Str(s)
+    }
+}
+
+impl From<f64> for Cell {
+    fn from(v: f64) -> Self {
+        Cell::F(v)
+    }
+}
+
+impl From<usize> for Cell {
+    fn from(v: usize) -> Self {
+        Cell::UInt(v as u64)
+    }
+}
+
+impl From<u64> for Cell {
+    fn from(v: u64) -> Self {
+        Cell::UInt(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_render() {
+        assert_eq!(Cell::from("x").render(), "x");
+        assert_eq!(Cell::from(3usize).render(), "3");
+        assert_eq!(Cell::from(1.23456).render(), "1.2346");
+        assert_eq!(Cell::F(f64::NAN).render(), "nan");
+        assert_eq!(Cell::Int(-4).render(), "-4");
+        assert_eq!(Cell::from(String::from("y")).render(), "y");
+        assert_eq!(Cell::from(9u64).render(), "9");
+    }
+}

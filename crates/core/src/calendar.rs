@@ -1,0 +1,284 @@
+//! The enriched calendar matrix `C` (Sec. II-B).
+//!
+//! Five signals, brute-force-upsampled to hourly resolution:
+//! (1) hour of day, (2) day of week, (3) day of month, (4) weekend
+//! flag, (5) holiday flag. The paper's observation period starts on
+//! Monday 2015-11-30, which is this module's default epoch.
+
+use crate::error::{CoreError, Result};
+use crate::matrix::Matrix;
+use crate::HOURS_PER_DAY;
+
+/// A proleptic Gregorian calendar date (year, month 1–12, day 1–31).
+///
+/// Deliberately minimal: supports day arithmetic and weekday lookup,
+/// which is all the calendar matrix needs — no external `chrono`-style
+/// dependency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date {
+    /// Gregorian year.
+    pub year: i32,
+    /// Month, 1-based.
+    pub month: u8,
+    /// Day of month, 1-based.
+    pub day: u8,
+}
+
+impl Date {
+    /// Construct a validated date.
+    ///
+    /// # Errors
+    /// Rejects out-of-range month/day combinations.
+    pub fn new(year: i32, month: u8, day: u8) -> Result<Self> {
+        if !(1..=12).contains(&month) {
+            return Err(CoreError::InvalidConfig(format!("month {month} out of range")));
+        }
+        let d = Date { year, month, day };
+        if day == 0 || day > d.days_in_month() {
+            return Err(CoreError::InvalidConfig(format!("day {day} out of range for {year}-{month:02}")));
+        }
+        Ok(d)
+    }
+
+    /// Whether the year is a Gregorian leap year.
+    pub fn is_leap_year(year: i32) -> bool {
+        (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+    }
+
+    fn days_in_month(&self) -> u8 {
+        match self.month {
+            1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+            4 | 6 | 9 | 11 => 30,
+            2 => {
+                if Self::is_leap_year(self.year) {
+                    29
+                } else {
+                    28
+                }
+            }
+            _ => unreachable!("validated month"),
+        }
+    }
+
+    /// Days since the proleptic Gregorian epoch 0000-03-01 (a civil-day
+    /// count; only differences matter to callers).
+    fn day_number(&self) -> i64 {
+        // Howard Hinnant's days_from_civil algorithm.
+        let y = self.year as i64 - if self.month <= 2 { 1 } else { 0 };
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400;
+        let m = self.month as i64;
+        let d = self.day as i64;
+        let doy = (153 * (m + if m > 2 { -3 } else { 9 }) + 2) / 5 + d - 1;
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+        era * 146_097 + doe - 719_468
+    }
+
+    /// Inverse of [`Date::day_number`].
+    fn from_day_number(z: i64) -> Self {
+        let z = z + 719_468;
+        let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+        let doe = z - era * 146_097;
+        let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+        let mp = (5 * doy + 2) / 153;
+        let d = (doy - (153 * mp + 2) / 5 + 1) as u8;
+        let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u8;
+        let year = (y + if m <= 2 { 1 } else { 0 }) as i32;
+        Date { year, month: m, day: d }
+    }
+
+    /// The date `days` days after `self` (negative moves backwards).
+    pub fn plus_days(&self, days: i64) -> Date {
+        Self::from_day_number(self.day_number() + days)
+    }
+
+    /// Day of week, 0 = Monday … 6 = Sunday (ISO-like, 0-based).
+    pub fn weekday(&self) -> u8 {
+        // 1970-01-01 was a Thursday (weekday 3 in this numbering).
+        (self.day_number().rem_euclid(7) as u8 + 3) % 7
+    }
+
+    /// Whether this is a Saturday or Sunday.
+    pub fn is_weekend(&self) -> bool {
+        self.weekday() >= 5
+    }
+}
+
+/// Configuration for building a calendar matrix.
+#[derive(Debug, Clone)]
+pub struct CalendarConfig {
+    /// First day of the observation period (hour 0 of time index 0).
+    pub epoch: Date,
+    /// Public holidays inside (or near) the observation window.
+    pub holidays: Vec<Date>,
+}
+
+impl CalendarConfig {
+    /// The paper's observation window: epoch Monday 2015-11-30, with a
+    /// Spain-like holiday set for winter 2015–2016.
+    pub fn paper_period() -> Self {
+        let d = |y, m, dd| Date::new(y, m, dd).expect("static date");
+        CalendarConfig {
+            epoch: d(2015, 11, 30),
+            holidays: vec![
+                d(2015, 12, 8),  // Immaculate Conception
+                d(2015, 12, 25), // Christmas
+                d(2016, 1, 1),   // New Year
+                d(2016, 1, 6),   // Epiphany
+                d(2016, 3, 25),  // Good Friday
+                d(2016, 3, 28),  // Easter Monday
+            ],
+        }
+    }
+}
+
+impl Default for CalendarConfig {
+    fn default() -> Self {
+        Self::paper_period()
+    }
+}
+
+/// The calendar matrix `C` (mʰ × 5) plus date lookup helpers.
+#[derive(Debug, Clone)]
+pub struct Calendar {
+    config: CalendarConfig,
+    matrix: Matrix,
+}
+
+/// Column indices of the calendar matrix.
+pub mod col {
+    /// Hour of day, 0–23.
+    pub const HOUR_OF_DAY: usize = 0;
+    /// Day of week, 0 = Monday.
+    pub const DAY_OF_WEEK: usize = 1;
+    /// Day of month, 1–31.
+    pub const DAY_OF_MONTH: usize = 2;
+    /// 1.0 on Saturday/Sunday.
+    pub const IS_WEEKEND: usize = 3;
+    /// 1.0 on configured holidays.
+    pub const IS_HOLIDAY: usize = 4;
+    /// Number of calendar feature columns.
+    pub const COUNT: usize = 5;
+}
+
+impl Calendar {
+    /// Build the hourly calendar matrix for `n_hours` hours from the
+    /// configured epoch.
+    pub fn build(config: CalendarConfig, n_hours: usize) -> Self {
+        let mut matrix = Matrix::zeros(n_hours, col::COUNT);
+        for j in 0..n_hours {
+            let date = config.epoch.plus_days((j / HOURS_PER_DAY) as i64);
+            let holiday = config.holidays.contains(&date);
+            matrix.set(j, col::HOUR_OF_DAY, (j % HOURS_PER_DAY) as f64);
+            matrix.set(j, col::DAY_OF_WEEK, date.weekday() as f64);
+            matrix.set(j, col::DAY_OF_MONTH, date.day as f64);
+            matrix.set(j, col::IS_WEEKEND, if date.is_weekend() { 1.0 } else { 0.0 });
+            matrix.set(j, col::IS_HOLIDAY, if holiday { 1.0 } else { 0.0 });
+        }
+        Calendar { config, matrix }
+    }
+
+    /// The `mʰ × 5` matrix `C`.
+    pub fn matrix(&self) -> &Matrix {
+        &self.matrix
+    }
+
+    /// The calendar date of hourly index `j`.
+    pub fn date_of_hour(&self, j: usize) -> Date {
+        self.config.epoch.plus_days((j / HOURS_PER_DAY) as i64)
+    }
+
+    /// The calendar date of daily index `d`.
+    pub fn date_of_day(&self, d: usize) -> Date {
+        self.config.epoch.plus_days(d as i64)
+    }
+
+    /// Whether daily index `d` is a weekend or configured holiday —
+    /// used for the red shading of Fig. 2.
+    pub fn is_rest_day(&self, d: usize) -> bool {
+        let date = self.date_of_day(d);
+        date.is_weekend() || self.config.holidays.contains(&date)
+    }
+
+    /// Borrow the configuration.
+    pub fn config(&self) -> &CalendarConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_weekdays() {
+        assert_eq!(Date::new(2015, 11, 30).unwrap().weekday(), 0); // Monday
+        assert_eq!(Date::new(2016, 4, 3).unwrap().weekday(), 6); // Sunday
+        assert_eq!(Date::new(1970, 1, 1).unwrap().weekday(), 3); // Thursday
+        assert_eq!(Date::new(2000, 1, 1).unwrap().weekday(), 5); // Saturday
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(Date::is_leap_year(2016));
+        assert!(Date::is_leap_year(2000));
+        assert!(!Date::is_leap_year(1900));
+        assert!(!Date::is_leap_year(2015));
+    }
+
+    #[test]
+    fn day_arithmetic_crosses_months_and_leap_feb() {
+        let d = Date::new(2016, 2, 28).unwrap();
+        assert_eq!(d.plus_days(1), Date::new(2016, 2, 29).unwrap());
+        assert_eq!(d.plus_days(2), Date::new(2016, 3, 1).unwrap());
+        let d = Date::new(2015, 12, 31).unwrap();
+        assert_eq!(d.plus_days(1), Date::new(2016, 1, 1).unwrap());
+        assert_eq!(d.plus_days(-31), Date::new(2015, 11, 30).unwrap());
+    }
+
+    #[test]
+    fn paper_period_spans_126_days() {
+        // Nov 30, 2015 + 125 days = Apr 3, 2016 (the paper's end date).
+        let epoch = CalendarConfig::paper_period().epoch;
+        assert_eq!(epoch.plus_days(125), Date::new(2016, 4, 3).unwrap());
+    }
+
+    #[test]
+    fn date_validation() {
+        assert!(Date::new(2015, 13, 1).is_err());
+        assert!(Date::new(2015, 2, 29).is_err()); // not a leap year
+        assert!(Date::new(2016, 2, 29).is_ok());
+        assert!(Date::new(2016, 4, 31).is_err());
+        assert!(Date::new(2016, 4, 0).is_err());
+    }
+
+    #[test]
+    fn calendar_matrix_columns() {
+        let cal = Calendar::build(CalendarConfig::paper_period(), 48);
+        let m = cal.matrix();
+        assert_eq!(m.shape(), (48, 5));
+        // Hour 0 of day 0: Monday Nov 30.
+        assert_eq!(m.get(0, col::HOUR_OF_DAY), 0.0);
+        assert_eq!(m.get(0, col::DAY_OF_WEEK), 0.0);
+        assert_eq!(m.get(0, col::DAY_OF_MONTH), 30.0);
+        assert_eq!(m.get(0, col::IS_WEEKEND), 0.0);
+        // Hour 25 = day 1 (Tuesday Dec 1), hour-of-day 1.
+        assert_eq!(m.get(25, col::HOUR_OF_DAY), 1.0);
+        assert_eq!(m.get(25, col::DAY_OF_WEEK), 1.0);
+        assert_eq!(m.get(25, col::DAY_OF_MONTH), 1.0);
+    }
+
+    #[test]
+    fn weekend_and_holiday_flags() {
+        let cal = Calendar::build(CalendarConfig::paper_period(), 24 * 10);
+        // Day 5 = Saturday Dec 5.
+        assert_eq!(cal.matrix().get(24 * 5, col::IS_WEEKEND), 1.0);
+        assert!(cal.is_rest_day(5));
+        assert!(!cal.is_rest_day(1));
+        // Day 8 = Tuesday Dec 8 = holiday.
+        assert_eq!(cal.matrix().get(24 * 8, col::IS_HOLIDAY), 1.0);
+        assert!(cal.is_rest_day(8));
+    }
+}

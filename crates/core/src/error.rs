@@ -1,0 +1,67 @@
+//! Error types shared across the workspace's core data model.
+
+use std::fmt;
+
+/// Errors produced by the core data model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A constructor was handed dimensions that do not multiply out to
+    /// the provided buffer length.
+    ShapeMismatch {
+        /// What the caller claimed the dimensions were.
+        expected: usize,
+        /// The actual buffer length.
+        actual: usize,
+    },
+    /// An index along some axis was out of range.
+    IndexOutOfRange {
+        /// Human-readable axis name (`"sector"`, `"hour"`, `"kpi"`, …).
+        axis: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The axis length.
+        len: usize,
+    },
+    /// Two containers that must agree on a dimension do not.
+    DimensionMismatch(String),
+    /// A configuration value was rejected.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: dims imply {expected} elements, buffer has {actual}")
+            }
+            CoreError::IndexOutOfRange { axis, index, len } => {
+                write!(f, "{axis} index {index} out of range (len {len})")
+            }
+            CoreError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Convenience alias used throughout the core crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::ShapeMismatch { expected: 6, actual: 5 };
+        assert!(e.to_string().contains("6"));
+        assert!(e.to_string().contains("5"));
+        let e = CoreError::IndexOutOfRange { axis: "sector", index: 9, len: 3 };
+        assert!(e.to_string().contains("sector"));
+        let e = CoreError::DimensionMismatch("a vs b".into());
+        assert!(e.to_string().contains("a vs b"));
+        let e = CoreError::InvalidConfig("bad".into());
+        assert!(e.to_string().contains("bad"));
+    }
+}

@@ -1,0 +1,182 @@
+//! Temporal integration of the hourly score (Eqs. 2–3 of the paper).
+//!
+//! The paper defines `μ(x, y, z)` as the average of the `y` samples of
+//! `z` preceding index `x`, and derives hourly/daily/weekly scores
+//! `S^Γ` by integrating `S'` over `δ^Γ ∈ {1, 24, 168}` hours.
+
+use crate::error::{CoreError, Result};
+use crate::matrix::Matrix;
+use crate::{HOURS_PER_DAY, HOURS_PER_WEEK};
+
+/// The three temporal resolutions `Γ ∈ {h, d, w}` of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resolution {
+    /// Hourly: `δʰ = 1`.
+    Hourly,
+    /// Daily: `δᵈ = 24`.
+    Daily,
+    /// Weekly: `δʷ = 168`.
+    Weekly,
+}
+
+impl Resolution {
+    /// Integration length in hours (`δ^Γ`).
+    pub fn delta(self) -> usize {
+        match self {
+            Resolution::Hourly => 1,
+            Resolution::Daily => HOURS_PER_DAY,
+            Resolution::Weekly => HOURS_PER_WEEK,
+        }
+    }
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Resolution::Hourly => "h",
+            Resolution::Daily => "d",
+            Resolution::Weekly => "w",
+        }
+    }
+}
+
+/// The temporal averaging function `μ(x, y, z)` (Eq. 3): the mean of
+/// `z[x - y .. x]` (half-open window of `y` samples ending just before
+/// `x`). `NaN` samples are skipped; if every sample in the window is
+/// `NaN` the result is `NaN`.
+///
+/// # Panics
+/// Panics if `y == 0`, `x < y`, or `x > z.len()` — callers are expected
+/// to have validated window arithmetic (the higher-level APIs do).
+pub fn mu(x: usize, y: usize, z: &[f64]) -> f64 {
+    assert!(y > 0, "mu: zero-length window");
+    assert!(x >= y && x <= z.len(), "mu: window [{}-{}, {}) out of range (len {})", x, y, x, z.len());
+    let window = &z[x - y..x];
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for &v in window {
+        if !v.is_nan() {
+            sum += v;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        f64::NAN
+    } else {
+        sum / count as f64
+    }
+}
+
+/// Integrate an hourly score matrix `S'` (n × mʰ) to resolution `Γ`,
+/// producing the matrix `S^Γ` of Eq. 2 with `⌊mʰ / δ^Γ⌋` columns.
+/// A trailing partial period is dropped.
+///
+/// # Errors
+/// Returns an error if the series is shorter than one period.
+pub fn integrate(hourly: &Matrix, resolution: Resolution) -> Result<Matrix> {
+    let delta = resolution.delta();
+    let (n, mh) = hourly.shape();
+    let periods = mh / delta;
+    if periods == 0 {
+        return Err(CoreError::DimensionMismatch(format!(
+            "{} hours cannot form one {}-hour period",
+            mh, delta
+        )));
+    }
+    let mut out = Matrix::zeros(n, periods);
+    for i in 0..n {
+        let row = hourly.row(i);
+        for j in 0..periods {
+            out.set(i, j, mu((j + 1) * delta, delta, row));
+        }
+    }
+    Ok(out)
+}
+
+/// Trailing moving average at the *same* resolution: element `j` of the
+/// output is the mean of the `window` samples ending at and including
+/// `j` (i.e. `μ(j + 1, window, row)`); positions with fewer than
+/// `window` preceding samples are averaged over what exists.
+///
+/// Used by the Average/Trend baselines and the become-a-hot-spot label.
+pub fn trailing_mean(series: &[f64], j: usize, window: usize) -> f64 {
+    assert!(j < series.len(), "trailing_mean: index out of range");
+    let end = j + 1;
+    let start = end.saturating_sub(window.max(1));
+    mu(end, end - start, series)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolution_deltas() {
+        assert_eq!(Resolution::Hourly.delta(), 1);
+        assert_eq!(Resolution::Daily.delta(), 24);
+        assert_eq!(Resolution::Weekly.delta(), 168);
+        assert_eq!(Resolution::Daily.label(), "d");
+    }
+
+    #[test]
+    fn mu_is_windowed_mean() {
+        let z = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mu(4, 2, &z), 3.5);
+        assert_eq!(mu(2, 2, &z), 1.5);
+        assert_eq!(mu(4, 4, &z), 2.5);
+        assert_eq!(mu(1, 1, &z), 1.0);
+    }
+
+    #[test]
+    fn mu_skips_nan() {
+        let z = [1.0, f64::NAN, 3.0];
+        assert_eq!(mu(3, 3, &z), 2.0);
+        let all_nan = [f64::NAN, f64::NAN];
+        assert!(mu(2, 2, &all_nan).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn mu_rejects_bad_window() {
+        mu(1, 2, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn integrate_daily_tiles_exactly() {
+        // 48 hours: day 0 = hours 0..24 with value 1, day 1 = value 3.
+        let mut vals = vec![1.0; 24];
+        vals.extend(vec![3.0; 24]);
+        let s = Matrix::from_vec(1, 48, vals).unwrap();
+        let d = integrate(&s, Resolution::Daily).unwrap();
+        assert_eq!(d.shape(), (1, 2));
+        assert_eq!(d.get(0, 0), 1.0);
+        assert_eq!(d.get(0, 1), 3.0);
+    }
+
+    #[test]
+    fn integrate_drops_partial_period() {
+        let s = Matrix::from_vec(1, 30, vec![1.0; 30]).unwrap();
+        let d = integrate(&s, Resolution::Daily).unwrap();
+        assert_eq!(d.cols(), 1);
+    }
+
+    #[test]
+    fn integrate_hourly_is_identity() {
+        let s = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let h = integrate(&s, Resolution::Hourly).unwrap();
+        assert_eq!(h, s);
+    }
+
+    #[test]
+    fn integrate_too_short_errors() {
+        let s = Matrix::from_vec(1, 10, vec![0.0; 10]).unwrap();
+        assert!(integrate(&s, Resolution::Daily).is_err());
+    }
+
+    #[test]
+    fn trailing_mean_saturates_at_start() {
+        let z = [2.0, 4.0, 6.0, 8.0];
+        assert_eq!(trailing_mean(&z, 3, 2), 7.0);
+        assert_eq!(trailing_mean(&z, 0, 3), 2.0); // only one sample exists
+        assert_eq!(trailing_mean(&z, 2, 100), 4.0); // whole prefix
+    }
+}

@@ -1,0 +1,286 @@
+//! CSV import/export for KPI tensors and score matrices.
+//!
+//! The simulator stands in for the operator's proprietary feed, but a
+//! downstream user adopting this library will have *real* KPI data.
+//! This module defines a minimal, dependency-free interchange format:
+//!
+//! ```text
+//! sector,hour,kpi_0,kpi_1,...,kpi_{l-1}
+//! 0,0,0.991,0.984,...,0.999
+//! 0,1,0.990,,...,0.998          <- empty field = missing
+//! ```
+//!
+//! Rows may arrive in any order; `(sector, hour)` pairs must be dense
+//! (every pair present exactly once) so the tensor shape is
+//! unambiguous. Matrices (scores, labels) use the same layout without
+//! the KPI header split.
+
+use crate::error::{CoreError, Result};
+use crate::matrix::Matrix;
+use crate::tensor::Tensor3;
+use std::io::{BufRead, Write};
+
+/// Write a KPI tensor as CSV (`NaN` → empty field).
+///
+/// # Errors
+/// Propagates I/O errors as [`CoreError::InvalidConfig`] (the crate
+/// has no I/O error variant; the message carries the cause).
+pub fn write_tensor_csv(tensor: &Tensor3, mut out: impl Write) -> Result<()> {
+    let io_err = |e: std::io::Error| CoreError::InvalidConfig(format!("io error: {e}"));
+    let (n, m, l) = tensor.shape();
+    let mut header = String::from("sector,hour");
+    for k in 0..l {
+        header.push_str(&format!(",kpi_{k}"));
+    }
+    writeln!(out, "{header}").map_err(io_err)?;
+    let mut line = String::new();
+    for i in 0..n {
+        for j in 0..m {
+            line.clear();
+            line.push_str(&format!("{i},{j}"));
+            for &v in tensor.frame(i, j) {
+                if v.is_nan() {
+                    line.push(',');
+                } else {
+                    line.push_str(&format!(",{v}"));
+                }
+            }
+            writeln!(out, "{line}").map_err(io_err)?;
+        }
+    }
+    Ok(())
+}
+
+/// Read a KPI tensor from CSV written by [`write_tensor_csv`] (or any
+/// producer following the format).
+///
+/// # Errors
+/// Rejects malformed headers, ragged rows, non-numeric fields,
+/// duplicate `(sector, hour)` pairs, and sparse coverage.
+pub fn read_tensor_csv(input: impl BufRead) -> Result<Tensor3> {
+    let io_err = |e: std::io::Error| CoreError::InvalidConfig(format!("io error: {e}"));
+    let mut lines = input.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| CoreError::InvalidConfig("empty csv".into()))?
+        .map_err(io_err)?;
+    let cols: Vec<&str> = header.split(',').collect();
+    if cols.len() < 3 || cols[0] != "sector" || cols[1] != "hour" {
+        return Err(CoreError::InvalidConfig(format!("bad header: {header}")));
+    }
+    let l = cols.len() - 2;
+
+    struct Row {
+        i: usize,
+        j: usize,
+        values: Vec<f64>,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    let mut max_i = 0usize;
+    let mut max_j = 0usize;
+    for (lineno, line) in lines.enumerate() {
+        let line = line.map_err(io_err)?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != l + 2 {
+            return Err(CoreError::InvalidConfig(format!(
+                "line {}: {} fields, expected {}",
+                lineno + 2,
+                fields.len(),
+                l + 2
+            )));
+        }
+        let parse_idx = |s: &str, what: &str| -> Result<usize> {
+            s.trim().parse().map_err(|_| {
+                CoreError::InvalidConfig(format!("line {}: bad {what} '{s}'", lineno + 2))
+            })
+        };
+        let i = parse_idx(fields[0], "sector")?;
+        let j = parse_idx(fields[1], "hour")?;
+        let mut values = Vec::with_capacity(l);
+        for f in &fields[2..] {
+            let t = f.trim();
+            if t.is_empty() {
+                values.push(f64::NAN);
+            } else {
+                values.push(t.parse().map_err(|_| {
+                    CoreError::InvalidConfig(format!("line {}: bad value '{t}'", lineno + 2))
+                })?);
+            }
+        }
+        max_i = max_i.max(i);
+        max_j = max_j.max(j);
+        rows.push(Row { i, j, values });
+    }
+    let n = max_i + 1;
+    let m = max_j + 1;
+    if rows.len() != n * m {
+        return Err(CoreError::InvalidConfig(format!(
+            "sparse coverage: {} rows for a {n}x{m} grid",
+            rows.len()
+        )));
+    }
+    let mut tensor = Tensor3::filled(n, m, l, f64::NAN);
+    let mut seen = vec![false; n * m];
+    for row in rows {
+        let slot = row.i * m + row.j;
+        if seen[slot] {
+            return Err(CoreError::InvalidConfig(format!(
+                "duplicate (sector {}, hour {})",
+                row.i, row.j
+            )));
+        }
+        seen[slot] = true;
+        tensor.frame_mut(row.i, row.j).copy_from_slice(&row.values);
+    }
+    Ok(tensor)
+}
+
+/// Write a matrix (scores or labels) as CSV: `sector,<m columns>`.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn write_matrix_csv(matrix: &Matrix, mut out: impl Write) -> Result<()> {
+    let io_err = |e: std::io::Error| CoreError::InvalidConfig(format!("io error: {e}"));
+    let (n, m) = matrix.shape();
+    let mut header = String::from("sector");
+    for j in 0..m {
+        header.push_str(&format!(",t{j}"));
+    }
+    writeln!(out, "{header}").map_err(io_err)?;
+    for i in 0..n {
+        let mut line = i.to_string();
+        for &v in matrix.row(i) {
+            if v.is_nan() {
+                line.push(',');
+            } else {
+                line.push_str(&format!(",{v}"));
+            }
+        }
+        writeln!(out, "{line}").map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Read a matrix written by [`write_matrix_csv`].
+///
+/// # Errors
+/// Rejects malformed input (see [`read_tensor_csv`] semantics).
+pub fn read_matrix_csv(input: impl BufRead) -> Result<Matrix> {
+    let io_err = |e: std::io::Error| CoreError::InvalidConfig(format!("io error: {e}"));
+    let mut lines = input.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| CoreError::InvalidConfig("empty csv".into()))?
+        .map_err(io_err)?;
+    let m = header.split(',').count() - 1;
+    if m == 0 {
+        return Err(CoreError::InvalidConfig("matrix csv needs data columns".into()));
+    }
+    let mut data: Vec<(usize, Vec<f64>)> = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let line = line.map_err(io_err)?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != m + 1 {
+            return Err(CoreError::InvalidConfig(format!(
+                "line {}: {} fields, expected {}",
+                lineno + 2,
+                fields.len(),
+                m + 1
+            )));
+        }
+        let i: usize = fields[0].trim().parse().map_err(|_| {
+            CoreError::InvalidConfig(format!("line {}: bad sector '{}'", lineno + 2, fields[0]))
+        })?;
+        let mut row = Vec::with_capacity(m);
+        for f in &fields[1..] {
+            let t = f.trim();
+            if t.is_empty() {
+                row.push(f64::NAN);
+            } else {
+                row.push(t.parse().map_err(|_| {
+                    CoreError::InvalidConfig(format!("line {}: bad value '{t}'", lineno + 2))
+                })?);
+            }
+        }
+        data.push((i, row));
+    }
+    let n = data.iter().map(|(i, _)| i + 1).max().unwrap_or(0);
+    if data.len() != n {
+        return Err(CoreError::InvalidConfig(format!("{} rows for {n} sectors", data.len())));
+    }
+    let mut matrix = Matrix::filled(n, m, f64::NAN);
+    for (i, row) in data {
+        matrix.row_mut(i).copy_from_slice(&row);
+    }
+    Ok(matrix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn sample_tensor() -> Tensor3 {
+        let mut t = Tensor3::from_fn(2, 3, 2, |i, j, k| (i * 100 + j * 10 + k) as f64);
+        t.set(0, 1, 1, f64::NAN);
+        t
+    }
+
+    #[test]
+    fn tensor_round_trip_preserves_values_and_gaps() {
+        let t = sample_tensor();
+        let mut buf = Vec::new();
+        write_tensor_csv(&t, &mut buf).unwrap();
+        let back = read_tensor_csv(BufReader::new(buf.as_slice())).unwrap();
+        assert!(t.bit_eq(&back));
+    }
+
+    #[test]
+    fn tensor_rejects_malformed() {
+        let bad_header = "foo,bar,kpi_0\n0,0,1.0\n";
+        assert!(read_tensor_csv(BufReader::new(bad_header.as_bytes())).is_err());
+        let ragged = "sector,hour,kpi_0\n0,0,1.0,9.0\n";
+        assert!(read_tensor_csv(BufReader::new(ragged.as_bytes())).is_err());
+        let sparse = "sector,hour,kpi_0\n0,0,1.0\n1,1,2.0\n";
+        assert!(read_tensor_csv(BufReader::new(sparse.as_bytes())).is_err());
+        let dup = "sector,hour,kpi_0\n0,0,1.0\n0,0,2.0\n";
+        assert!(read_tensor_csv(BufReader::new(dup.as_bytes())).is_err());
+        let nonnum = "sector,hour,kpi_0\n0,x,1.0\n";
+        assert!(read_tensor_csv(BufReader::new(nonnum.as_bytes())).is_err());
+        assert!(read_tensor_csv(BufReader::new("".as_bytes())).is_err());
+    }
+
+    #[test]
+    fn tensor_accepts_out_of_order_rows() {
+        let csv = "sector,hour,kpi_0\n1,1,4.0\n0,0,1.0\n1,0,3.0\n0,1,2.0\n";
+        let t = read_tensor_csv(BufReader::new(csv.as_bytes())).unwrap();
+        assert_eq!(t.shape(), (2, 2, 1));
+        assert_eq!(t.get(0, 1, 0), 2.0);
+        assert_eq!(t.get(1, 0, 0), 3.0);
+    }
+
+    #[test]
+    fn matrix_round_trip() {
+        let mut m = Matrix::from_fn(3, 4, |r, c| (r * 10 + c) as f64);
+        m.set(2, 2, f64::NAN);
+        let mut buf = Vec::new();
+        write_matrix_csv(&m, &mut buf).unwrap();
+        let back = read_matrix_csv(BufReader::new(buf.as_slice())).unwrap();
+        assert!(m.bit_eq(&back));
+    }
+
+    #[test]
+    fn matrix_rejects_malformed() {
+        assert!(read_matrix_csv(BufReader::new("".as_bytes())).is_err());
+        let ragged = "sector,t0,t1\n0,1.0\n";
+        assert!(read_matrix_csv(BufReader::new(ragged.as_bytes())).is_err());
+        let missing_row = "sector,t0\n1,1.0\n";
+        assert!(read_matrix_csv(BufReader::new(missing_row.as_bytes())).is_err());
+    }
+}

@@ -1,0 +1,183 @@
+//! Hot-spot label derivation (Eq. 4) and the *become-a-hot-spot*
+//! target of Sec. IV-A.
+
+use crate::error::{CoreError, Result};
+use crate::integrate::trailing_mean;
+use crate::matrix::Matrix;
+use crate::score::heaviside;
+use crate::DAYS_PER_WEEK;
+
+/// Eq. 4: `Y_{i,j} = H(S_{i,j} − ε)` elementwise over an integrated
+/// score matrix. The output holds `0.0` / `1.0` (and `NaN` where the
+/// score itself is missing).
+pub fn hot_labels(scores: &Matrix, epsilon: f64) -> Matrix {
+    let (n, m) = scores.shape();
+    Matrix::from_fn(n, m, |i, j| {
+        let s = scores.get(i, j);
+        if s.is_nan() {
+            f64::NAN
+        } else {
+            heaviside(s - epsilon)
+        }
+    })
+}
+
+/// Configuration for the *become-a-hot-spot* label.
+#[derive(Debug, Clone, Copy)]
+pub struct BecomeConfig {
+    /// Hot-spot threshold `ε` (same as the daily label's).
+    pub epsilon: f64,
+    /// Averaging window in days (the paper uses one week).
+    pub window_days: usize,
+}
+
+impl Default for BecomeConfig {
+    fn default() -> Self {
+        BecomeConfig { epsilon: 0.4, window_days: DAYS_PER_WEEK }
+    }
+}
+
+/// The *become-a-hot-spot* label over **daily** scores `Sᵈ`.
+///
+/// A day `j` of sector `i` is flagged when the sector transitions from
+/// a quiet regime into a persistently hot one:
+///
+/// * the weekly average ending at `j` (the week *before*) is **below**
+///   `ε`,
+/// * the weekly average over `(j, j + window]` (the week *after*) is
+///   **at or above** `ε`,
+/// * day `j` itself is not hot but day `j + 1` is (the transition is
+///   anchored to an actual label flip, discarding consecutive
+///   activations).
+///
+/// The paper's Eq. (unnumbered, Sec. IV-A) prints the first two
+/// Heaviside factors with the before/after windows swapped relative to
+/// its own prose ("sectors that *were not* hot spots for a period of
+/// time, but *became* hot spots consistently for the next few days");
+/// we implement the prose.
+///
+/// Days whose after-window would run past the end of the series are
+/// never flagged (there is no evidence of persistence).
+///
+/// # Errors
+/// Rejects a zero-day window.
+pub fn become_hot_labels(daily_scores: &Matrix, config: &BecomeConfig) -> Result<Matrix> {
+    if config.window_days == 0 {
+        return Err(CoreError::InvalidConfig("window_days must be >= 1".into()));
+    }
+    let (n, md) = daily_scores.shape();
+    let w = config.window_days;
+    let eps = config.epsilon;
+    let mut out = Matrix::zeros(n, md);
+    for i in 0..n {
+        let row = daily_scores.row(i);
+        for j in 0..md {
+            // Need a full after-window and at least one before sample.
+            if j + 1 + w > md || j == 0 {
+                continue;
+            }
+            let before = trailing_mean(row, j, w);
+            let after = trailing_mean(row, j + w, w);
+            let today = row[j];
+            let tomorrow = row[j + 1];
+            if before.is_nan() || after.is_nan() || today.is_nan() || tomorrow.is_nan() {
+                continue;
+            }
+            let flag = (1.0 - heaviside(before - eps))
+                * heaviside(after - eps)
+                * (1.0 - heaviside(today - eps))
+                * heaviside(tomorrow - eps);
+            out.set(i, j, flag);
+        }
+    }
+    Ok(out)
+}
+
+/// Fraction of (finite) labels that are positive — the prevalence used
+/// to sanity-check the random baseline's average precision.
+pub fn prevalence(labels: &Matrix) -> f64 {
+    let mut pos = 0usize;
+    let mut total = 0usize;
+    for &v in labels.as_slice() {
+        if v.is_nan() {
+            continue;
+        }
+        total += 1;
+        if v >= 0.5 {
+            pos += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        pos as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_labels_threshold() {
+        let s = Matrix::from_vec(1, 4, vec![0.2, 0.6, 0.9, f64::NAN]).unwrap();
+        let y = hot_labels(&s, 0.6);
+        assert_eq!(y.get(0, 0), 0.0);
+        assert_eq!(y.get(0, 1), 1.0); // at threshold counts as hot
+        assert_eq!(y.get(0, 2), 1.0);
+        assert!(y.get(0, 3).is_nan());
+    }
+
+    #[test]
+    fn become_flags_a_clean_transition() {
+        // 7 quiet days, then 8 hot days: the flip is at day 6→7.
+        let mut vals = vec![0.1; 7];
+        vals.extend(vec![0.9; 8]);
+        let s = Matrix::from_vec(1, 15, vals).unwrap();
+        let cfg = BecomeConfig { epsilon: 0.6, window_days: 7 };
+        let y = become_hot_labels(&s, &cfg).unwrap();
+        assert_eq!(y.get(0, 6), 1.0, "transition day should be flagged");
+        let total: f64 = y.as_slice().iter().sum();
+        assert_eq!(total, 1.0, "exactly one activation");
+    }
+
+    #[test]
+    fn become_ignores_sporadic_spike() {
+        // One isolated hot day is not a persistent emergence.
+        let mut vals = vec![0.1; 20];
+        vals[10] = 0.9;
+        let s = Matrix::from_vec(1, 20, vals).unwrap();
+        let y = become_hot_labels(&s, &BecomeConfig::default()).unwrap();
+        assert_eq!(y.as_slice().iter().sum::<f64>(), 0.0);
+    }
+
+    #[test]
+    fn become_ignores_always_hot_sector() {
+        let s = Matrix::from_vec(1, 20, vec![0.9; 20]).unwrap();
+        let y = become_hot_labels(&s, &BecomeConfig::default()).unwrap();
+        assert_eq!(y.as_slice().iter().sum::<f64>(), 0.0);
+    }
+
+    #[test]
+    fn become_requires_full_after_window() {
+        // Transition too close to the end of the series: no flag.
+        let mut vals = vec![0.1; 10];
+        vals.extend(vec![0.9; 3]); // only 3 hot days observed
+        let s = Matrix::from_vec(1, 13, vals).unwrap();
+        let y = become_hot_labels(&s, &BecomeConfig::default()).unwrap();
+        assert_eq!(y.as_slice().iter().sum::<f64>(), 0.0);
+    }
+
+    #[test]
+    fn become_rejects_zero_window() {
+        let s = Matrix::zeros(1, 10);
+        assert!(become_hot_labels(&s, &BecomeConfig { epsilon: 0.6, window_days: 0 }).is_err());
+    }
+
+    #[test]
+    fn prevalence_counts_positives() {
+        let y = Matrix::from_vec(1, 5, vec![1.0, 0.0, 1.0, f64::NAN, 0.0]).unwrap();
+        assert!((prevalence(&y) - 0.5).abs() < 1e-12);
+        assert_eq!(prevalence(&Matrix::zeros(0, 0)), 0.0);
+    }
+}

@@ -1,0 +1,214 @@
+//! A dense, row-major 2-D matrix of `f64`.
+//!
+//! Used for scores `S` (sectors × time), labels `Y`, and the calendar
+//! matrix `C` (time × 5). Missing values are `NaN`.
+
+use crate::error::{CoreError, Result};
+
+/// Dense row-major matrix of `f64` with `rows × cols` shape.
+///
+/// Indexing is `(row, col)`; rows are contiguous in memory, so
+/// [`Matrix::row`] returns a slice with no copying.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Create a matrix filled with `fill`.
+    pub fn filled(rows: usize, cols: usize, fill: f64) -> Self {
+        Matrix { rows, cols, data: vec![fill; rows * cols] }
+    }
+
+    /// Create a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self::filled(rows, cols, 0.0)
+    }
+
+    /// Wrap an existing buffer (row-major).
+    ///
+    /// # Errors
+    /// Returns [`CoreError::ShapeMismatch`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(CoreError::ShapeMismatch { expected: rows * cols, actual: data.len() });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Build from a closure evaluated at every `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    /// Panics in debug builds if out of range.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.data[row * self.cols + col]
+    }
+
+    /// Checked element accessor.
+    pub fn try_get(&self, row: usize, col: usize) -> Result<f64> {
+        if row >= self.rows {
+            return Err(CoreError::IndexOutOfRange { axis: "row", index: row, len: self.rows });
+        }
+        if col >= self.cols {
+            return Err(CoreError::IndexOutOfRange { axis: "col", index: col, len: self.cols });
+        }
+        Ok(self.data[row * self.cols + col])
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, v: f64) {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.data[row * self.cols + col] = v;
+    }
+
+    /// Borrow one row as a slice.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[f64] {
+        debug_assert!(row < self.rows);
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Borrow one row mutably.
+    #[inline]
+    pub fn row_mut(&mut self, row: usize) -> &mut [f64] {
+        debug_assert!(row < self.rows);
+        &mut self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Copy one column out.
+    pub fn col(&self, col: usize) -> Vec<f64> {
+        debug_assert!(col < self.cols);
+        (0..self.rows).map(|r| self.get(r, col)).collect()
+    }
+
+    /// Raw row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Raw mutable row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Apply a function to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Count of `NaN` entries.
+    pub fn count_nan(&self) -> usize {
+        self.data.iter().filter(|v| v.is_nan()).count()
+    }
+
+    /// Bitwise equality (treats `NaN == NaN` as true) — the right
+    /// comparison for determinism tests on matrices with gaps.
+    pub fn bit_eq(&self, other: &Matrix) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+
+    /// Iterate over `(row, col, value)` triples.
+    pub fn iter_indexed(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        let cols = self.cols;
+        self.data.iter().enumerate().map(move |(i, &v)| (i / cols, i % cols, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = Matrix::from_fn(3, 4, |r, c| (r * 10 + c) as f64);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.get(2, 3), 23.0);
+        assert_eq!(m.row(1), &[10.0, 11.0, 12.0, 13.0]);
+        assert_eq!(m.col(2), vec![2.0, 12.0, 22.0]);
+    }
+
+    #[test]
+    fn from_vec_validates_shape() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+        assert!(matches!(
+            Matrix::from_vec(2, 2, vec![1.0; 5]),
+            Err(CoreError::ShapeMismatch { expected: 4, actual: 5 })
+        ));
+    }
+
+    #[test]
+    fn try_get_bounds() {
+        let m = Matrix::zeros(2, 3);
+        assert!(m.try_get(1, 2).is_ok());
+        assert!(m.try_get(2, 0).is_err());
+        assert!(m.try_get(0, 3).is_err());
+    }
+
+    #[test]
+    fn set_and_map() {
+        let mut m = Matrix::zeros(2, 2);
+        m.set(0, 1, 5.0);
+        m.map_inplace(|v| v + 1.0);
+        assert_eq!(m.get(0, 1), 6.0);
+        assert_eq!(m.get(1, 1), 1.0);
+    }
+
+    #[test]
+    fn nan_counting() {
+        let mut m = Matrix::zeros(2, 2);
+        m.set(0, 0, f64::NAN);
+        m.set(1, 1, f64::NAN);
+        assert_eq!(m.count_nan(), 2);
+    }
+
+    #[test]
+    fn iter_indexed_covers_all() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r + c) as f64);
+        let collected: Vec<_> = m.iter_indexed().collect();
+        assert_eq!(collected.len(), 6);
+        assert_eq!(collected[4], (1, 1, 2.0));
+    }
+}

@@ -1,0 +1,150 @@
+//! Missing-value bookkeeping and the sector-filtering rule (Sec. II-C).
+//!
+//! The paper discards a sector when **any** week has more than 50% of
+//! its `(hour × indicator)` measurements missing, then imputes the
+//! remaining ~4% of gaps.
+
+use crate::error::{CoreError, Result};
+use crate::tensor::Tensor3;
+use crate::HOURS_PER_WEEK;
+
+/// Aggregate statistics about missingness in a KPI tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MissingStats {
+    /// Total cells in the tensor.
+    pub total: usize,
+    /// Cells that are `NaN`.
+    pub missing: usize,
+    /// Per-sector missing fraction.
+    pub per_sector: Vec<f64>,
+}
+
+impl MissingStats {
+    /// Global missing fraction.
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.missing as f64 / self.total as f64
+        }
+    }
+}
+
+/// Compute missingness statistics for a tensor.
+pub fn fraction_missing(kpis: &Tensor3) -> MissingStats {
+    let (n, m, l) = kpis.shape();
+    let mut per_sector = Vec::with_capacity(n);
+    let mut missing = 0usize;
+    for i in 0..n {
+        let sector_missing = kpis.sector(i).iter().filter(|v| v.is_nan()).count();
+        missing += sector_missing;
+        per_sector.push(if m * l == 0 { 0.0 } else { sector_missing as f64 / (m * l) as f64 });
+    }
+    MissingStats { total: n * m * l, missing, per_sector }
+}
+
+/// The sector-filter mask of Sec. II-C: `true` keeps the sector,
+/// `false` discards it because at least one week (any aligned
+/// `δʷ`-hour window starting at a week boundary) has more than
+/// `max_week_missing` of its measurements missing.
+///
+/// A trailing partial week is evaluated over the hours it has.
+///
+/// # Errors
+/// Rejects thresholds outside `[0, 1]`.
+pub fn sector_filter_mask(kpis: &Tensor3, max_week_missing: f64) -> Result<Vec<bool>> {
+    if !(0.0..=1.0).contains(&max_week_missing) {
+        return Err(CoreError::InvalidConfig(format!(
+            "max_week_missing {max_week_missing} not in [0, 1]"
+        )));
+    }
+    let (n, m, l) = kpis.shape();
+    let mut mask = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut keep = true;
+        let mut start = 0usize;
+        while start < m {
+            let end = (start + HOURS_PER_WEEK).min(m);
+            let mut missing = 0usize;
+            for j in start..end {
+                missing += kpis.frame(i, j).iter().filter(|v| v.is_nan()).count();
+            }
+            let cells = (end - start) * l;
+            if cells > 0 && missing as f64 / cells as f64 > max_week_missing {
+                keep = false;
+                break;
+            }
+            start = end;
+        }
+        mask.push(keep);
+    }
+    Ok(mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_count_nan_per_sector() {
+        let mut t = Tensor3::zeros(2, 4, 2);
+        t.set(0, 0, 0, f64::NAN);
+        t.set(0, 1, 1, f64::NAN);
+        let s = fraction_missing(&t);
+        assert_eq!(s.total, 16);
+        assert_eq!(s.missing, 2);
+        assert!((s.per_sector[0] - 0.25).abs() < 1e-12);
+        assert_eq!(s.per_sector[1], 0.0);
+        assert!((s.fraction() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn filter_keeps_clean_sectors() {
+        let t = Tensor3::zeros(3, HOURS_PER_WEEK * 2, 2);
+        let mask = sector_filter_mask(&t, 0.5).unwrap();
+        assert_eq!(mask, vec![true, true, true]);
+    }
+
+    #[test]
+    fn filter_drops_sector_with_one_bad_week() {
+        let mut t = Tensor3::zeros(2, HOURS_PER_WEEK * 2, 1);
+        // Sector 0: wipe out 60% of week 1.
+        let bad_hours = (HOURS_PER_WEEK as f64 * 0.6) as usize;
+        for j in 0..bad_hours {
+            t.set(0, HOURS_PER_WEEK + j, 0, f64::NAN);
+        }
+        let mask = sector_filter_mask(&t, 0.5).unwrap();
+        assert_eq!(mask, vec![false, true]);
+    }
+
+    #[test]
+    fn filter_evaluates_partial_trailing_week() {
+        // 1.5 weeks; the trailing half-week is fully missing.
+        let half = HOURS_PER_WEEK / 2;
+        let mut t = Tensor3::zeros(1, HOURS_PER_WEEK + half, 1);
+        for j in HOURS_PER_WEEK..HOURS_PER_WEEK + half {
+            t.set(0, j, 0, f64::NAN);
+        }
+        let mask = sector_filter_mask(&t, 0.5).unwrap();
+        assert_eq!(mask, vec![false]);
+    }
+
+    #[test]
+    fn filter_threshold_validation() {
+        let t = Tensor3::zeros(1, 10, 1);
+        assert!(sector_filter_mask(&t, -0.1).is_err());
+        assert!(sector_filter_mask(&t, 1.1).is_err());
+        assert!(sector_filter_mask(&t, 0.0).is_ok());
+    }
+
+    #[test]
+    fn filter_at_exactly_half_keeps() {
+        // Exactly 50% missing is not "more than 50%".
+        let mut t = Tensor3::zeros(1, HOURS_PER_WEEK, 2);
+        for j in 0..HOURS_PER_WEEK {
+            t.set(0, j, 0, f64::NAN);
+        }
+        let mask = sector_filter_mask(&t, 0.5).unwrap();
+        assert_eq!(mask, vec![true]);
+    }
+}

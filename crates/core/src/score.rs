@@ -1,0 +1,261 @@
+//! The hot-spot score `S'` (Eq. 1 of the paper).
+//!
+//! ```text
+//! S'_{i,j} = Σ_k  Ω_k · H(K_{i,j,k} − ε_k)
+//! ```
+//!
+//! `H` is the Heaviside step, `Ω` a set of weights and `ε` a set of
+//! thresholds "set and refined over the years" by the operator. Our
+//! default configuration derives both from the [`KpiCatalog`]:
+//! thresholds sit a configurable way between each indicator's nominal
+//! and degraded values, and weights favour accessibility/retainability
+//! (the service-level classes) as vendor guides do. Weights are
+//! normalised to sum to 1 so the score — like the paper's "re-scaled"
+//! score of Fig. 4 — lives in `[0, 1]`.
+//!
+//! Indicators with [`Polarity::LowIsBad`] trip when the measurement
+//! falls *below* the threshold; the Heaviside is applied to the
+//! polarity-adjusted exceedance.
+
+use crate::error::{CoreError, Result};
+use crate::kpi::{KpiCatalog, KpiClass, Polarity};
+use crate::matrix::Matrix;
+use crate::tensor::Tensor3;
+
+/// Heaviside step function `H(x)` with the `H(0) = 1` convention
+/// (a measurement exactly at the threshold counts as tripped).
+#[inline]
+pub fn heaviside(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Per-indicator scoring parameters: weights `Ω`, thresholds `ε`, and
+/// the polarity that orients each threshold.
+#[derive(Debug, Clone)]
+pub struct ScoreConfig {
+    weights: Vec<f64>,
+    thresholds: Vec<f64>,
+    polarity: Vec<Polarity>,
+}
+
+impl ScoreConfig {
+    /// Build a config from explicit parameter vectors.
+    ///
+    /// # Errors
+    /// Rejects empty or length-mismatched vectors, non-finite
+    /// thresholds, and negative or non-finite weights.
+    pub fn new(weights: Vec<f64>, thresholds: Vec<f64>, polarity: Vec<Polarity>) -> Result<Self> {
+        if weights.is_empty() {
+            return Err(CoreError::InvalidConfig("no indicators".into()));
+        }
+        if weights.len() != thresholds.len() || weights.len() != polarity.len() {
+            return Err(CoreError::DimensionMismatch(format!(
+                "weights {} / thresholds {} / polarity {}",
+                weights.len(),
+                thresholds.len(),
+                polarity.len()
+            )));
+        }
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err(CoreError::InvalidConfig("weights must be finite and >= 0".into()));
+        }
+        if thresholds.iter().any(|t| !t.is_finite()) {
+            return Err(CoreError::InvalidConfig("thresholds must be finite".into()));
+        }
+        Ok(ScoreConfig { weights, thresholds, polarity })
+    }
+
+    /// Derive the default operator configuration from a KPI catalogue.
+    ///
+    /// `severity ∈ (0, 1)` places each threshold `severity` of the way
+    /// from the nominal to the degraded value; the paper's operator
+    /// uses hand-tuned values, we default to `0.4` (trip well before
+    /// full degradation). Weights are class-based and normalised to
+    /// sum to 1.
+    pub fn from_catalog(catalog: &KpiCatalog, severity: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&severity) || severity == 0.0 {
+            return Err(CoreError::InvalidConfig(format!("severity {severity} not in (0, 1]")));
+        }
+        let mut weights = Vec::with_capacity(catalog.len());
+        let mut thresholds = Vec::with_capacity(catalog.len());
+        let mut polarity = Vec::with_capacity(catalog.len());
+        for def in catalog.defs() {
+            let class_weight = match def.class {
+                KpiClass::Accessibility => 1.5,
+                KpiClass::Retainability => 1.5,
+                KpiClass::AvailabilityCongestion => 1.0,
+                KpiClass::Coverage => 0.8,
+                KpiClass::Mobility => 0.7,
+            };
+            weights.push(class_weight);
+            thresholds.push(def.nominal + severity * (def.degraded - def.nominal));
+            polarity.push(def.polarity);
+        }
+        let total: f64 = weights.iter().sum();
+        for w in &mut weights {
+            *w /= total;
+        }
+        Self::new(weights, thresholds, polarity)
+    }
+
+    /// The default configuration for the standard catalogue.
+    pub fn standard() -> Self {
+        Self::from_catalog(&KpiCatalog::standard(), 0.4)
+            .expect("standard catalogue yields a valid config")
+    }
+
+    /// Number of indicators this config scores.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether the config is empty (never true: constructor rejects it).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Weight vector `Ω`.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Threshold vector `ε`.
+    pub fn thresholds(&self) -> &[f64] {
+        &self.thresholds
+    }
+
+    /// Score a single frame `K_{i,j,:}`.
+    ///
+    /// Missing (`NaN`) measurements contribute nothing: an indicator
+    /// that was not observed cannot trip. (The full pipeline imputes
+    /// before scoring, so this is a safety net, not the primary path.)
+    pub fn score_frame(&self, frame: &[f64]) -> f64 {
+        debug_assert_eq!(frame.len(), self.weights.len());
+        let mut s = 0.0;
+        for k in 0..self.weights.len() {
+            let v = frame[k];
+            if v.is_nan() {
+                continue;
+            }
+            let exceed = match self.polarity[k] {
+                Polarity::HighIsBad => v - self.thresholds[k],
+                Polarity::LowIsBad => self.thresholds[k] - v,
+            };
+            s += self.weights[k] * heaviside(exceed);
+        }
+        s
+    }
+}
+
+impl Default for ScoreConfig {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+/// Compute the raw hourly score matrix `S'` (n × mʰ) from the KPI
+/// tensor `K` (Eq. 1).
+///
+/// # Errors
+/// Returns a dimension error if the tensor's feature count differs
+/// from the config's indicator count.
+pub fn raw_scores(kpis: &Tensor3, config: &ScoreConfig) -> Result<Matrix> {
+    if kpis.n_features() != config.len() {
+        return Err(CoreError::DimensionMismatch(format!(
+            "tensor has {} features, config scores {}",
+            kpis.n_features(),
+            config.len()
+        )));
+    }
+    let (n, m, _) = kpis.shape();
+    let mut out = Matrix::zeros(n, m);
+    for i in 0..n {
+        let row = out.row_mut(i);
+        for (j, slot) in row.iter_mut().enumerate() {
+            *slot = config.score_frame(kpis.frame(i, j));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heaviside_convention() {
+        assert_eq!(heaviside(-0.1), 0.0);
+        assert_eq!(heaviside(0.0), 1.0);
+        assert_eq!(heaviside(2.0), 1.0);
+    }
+
+    fn two_kpi_config() -> ScoreConfig {
+        ScoreConfig::new(
+            vec![0.75, 0.25],
+            vec![10.0, 0.9],
+            vec![Polarity::HighIsBad, Polarity::LowIsBad],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn score_frame_respects_polarity_and_weights() {
+        let c = two_kpi_config();
+        // Neither trips: first below 10, second above 0.9.
+        assert_eq!(c.score_frame(&[5.0, 0.95]), 0.0);
+        // Only the high-is-bad trips.
+        assert_eq!(c.score_frame(&[12.0, 0.95]), 0.75);
+        // Only the low-is-bad trips.
+        assert_eq!(c.score_frame(&[5.0, 0.5]), 0.25);
+        // Both trip.
+        assert_eq!(c.score_frame(&[12.0, 0.5]), 1.0);
+    }
+
+    #[test]
+    fn nan_measurements_do_not_trip() {
+        let c = two_kpi_config();
+        assert_eq!(c.score_frame(&[f64::NAN, 0.5]), 0.25);
+        assert_eq!(c.score_frame(&[f64::NAN, f64::NAN]), 0.0);
+    }
+
+    #[test]
+    fn standard_config_is_normalised() {
+        let c = ScoreConfig::standard();
+        assert_eq!(c.len(), 21);
+        let sum: f64 = c.weights().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(c.weights().iter().all(|&w| w > 0.0));
+    }
+
+    #[test]
+    fn constructor_rejects_bad_input() {
+        assert!(ScoreConfig::new(vec![], vec![], vec![]).is_err());
+        assert!(ScoreConfig::new(vec![1.0], vec![1.0, 2.0], vec![Polarity::HighIsBad]).is_err());
+        assert!(ScoreConfig::new(vec![-1.0], vec![1.0], vec![Polarity::HighIsBad]).is_err());
+        assert!(ScoreConfig::new(vec![1.0], vec![f64::NAN], vec![Polarity::HighIsBad]).is_err());
+        assert!(ScoreConfig::from_catalog(&KpiCatalog::standard(), 0.0).is_err());
+        assert!(ScoreConfig::from_catalog(&KpiCatalog::standard(), 1.5).is_err());
+    }
+
+    #[test]
+    fn raw_scores_shape_and_values() {
+        let c = two_kpi_config();
+        // One sector, two hours.
+        let k = Tensor3::from_vec(1, 2, 2, vec![12.0, 0.95, 5.0, 0.5]).unwrap();
+        let s = raw_scores(&k, &c).unwrap();
+        assert_eq!(s.shape(), (1, 2));
+        assert_eq!(s.get(0, 0), 0.75);
+        assert_eq!(s.get(0, 1), 0.25);
+    }
+
+    #[test]
+    fn raw_scores_dimension_check() {
+        let c = two_kpi_config();
+        let k = Tensor3::zeros(1, 2, 3);
+        assert!(raw_scores(&k, &c).is_err());
+    }
+}

@@ -1,0 +1,302 @@
+//! The KPI tensor `K` — a dense, row-major 3-D array of `f64`.
+//!
+//! Shape is `(n, m, l)` = (sectors, time samples, indicators), matching
+//! the paper's `K ∈ ℝ^{n × mʰ × l}`. Missing measurements are `NaN`.
+
+use crate::error::{CoreError, Result};
+use crate::matrix::Matrix;
+
+/// Dense 3-D tensor with shape `(n_sectors, n_time, n_features)`.
+///
+/// Layout is row-major with the feature axis innermost, so the slice
+/// for one `(sector, time)` pair — the paper's `K_{i,j,:}` — is
+/// contiguous and borrowable via [`Tensor3::frame`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor3 {
+    n: usize,
+    m: usize,
+    l: usize,
+    data: Vec<f64>,
+}
+
+impl Tensor3 {
+    /// Create a tensor filled with `fill`.
+    pub fn filled(n: usize, m: usize, l: usize, fill: f64) -> Self {
+        Tensor3 { n, m, l, data: vec![fill; n * m * l] }
+    }
+
+    /// Create a zero tensor.
+    pub fn zeros(n: usize, m: usize, l: usize) -> Self {
+        Self::filled(n, m, l, 0.0)
+    }
+
+    /// Wrap an existing row-major buffer.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::ShapeMismatch`] if the buffer length is not
+    /// `n * m * l`.
+    pub fn from_vec(n: usize, m: usize, l: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != n * m * l {
+            return Err(CoreError::ShapeMismatch { expected: n * m * l, actual: data.len() });
+        }
+        Ok(Tensor3 { n, m, l, data })
+    }
+
+    /// Build from a closure evaluated at every `(sector, time, feature)`.
+    pub fn from_fn(
+        n: usize,
+        m: usize,
+        l: usize,
+        mut f: impl FnMut(usize, usize, usize) -> f64,
+    ) -> Self {
+        let mut data = Vec::with_capacity(n * m * l);
+        for i in 0..n {
+            for j in 0..m {
+                for k in 0..l {
+                    data.push(f(i, j, k));
+                }
+            }
+        }
+        Tensor3 { n, m, l, data }
+    }
+
+    /// Number of sectors `n`.
+    #[inline]
+    pub fn n_sectors(&self) -> usize {
+        self.n
+    }
+
+    /// Number of time samples `m`.
+    #[inline]
+    pub fn n_time(&self) -> usize {
+        self.m
+    }
+
+    /// Number of features/indicators `l`.
+    #[inline]
+    pub fn n_features(&self) -> usize {
+        self.l
+    }
+
+    /// Shape as `(n, m, l)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.n, self.m, self.l)
+    }
+
+    #[inline]
+    fn offset(&self, i: usize, j: usize, k: usize) -> usize {
+        debug_assert!(i < self.n && j < self.m && k < self.l);
+        (i * self.m + j) * self.l + k
+    }
+
+    /// Element accessor: `K_{i,j,k}`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize, k: usize) -> f64 {
+        self.data[self.offset(i, j, k)]
+    }
+
+    /// Checked element accessor.
+    pub fn try_get(&self, i: usize, j: usize, k: usize) -> Result<f64> {
+        if i >= self.n {
+            return Err(CoreError::IndexOutOfRange { axis: "sector", index: i, len: self.n });
+        }
+        if j >= self.m {
+            return Err(CoreError::IndexOutOfRange { axis: "time", index: j, len: self.m });
+        }
+        if k >= self.l {
+            return Err(CoreError::IndexOutOfRange { axis: "feature", index: k, len: self.l });
+        }
+        Ok(self.get(i, j, k))
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, k: usize, v: f64) {
+        let o = self.offset(i, j, k);
+        self.data[o] = v;
+    }
+
+    /// Borrow the contiguous feature frame `K_{i,j,:}`.
+    #[inline]
+    pub fn frame(&self, i: usize, j: usize) -> &[f64] {
+        let o = self.offset(i, j, 0);
+        &self.data[o..o + self.l]
+    }
+
+    /// Borrow the feature frame mutably.
+    #[inline]
+    pub fn frame_mut(&mut self, i: usize, j: usize) -> &mut [f64] {
+        let o = self.offset(i, j, 0);
+        &mut self.data[o..o + self.l]
+    }
+
+    /// Borrow the contiguous `(time × feature)` block of one sector —
+    /// the paper's `K_{i,:,:}` — as a flat row-major slice.
+    #[inline]
+    pub fn sector(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.n);
+        &self.data[i * self.m * self.l..(i + 1) * self.m * self.l]
+    }
+
+    /// Borrow one sector's block mutably.
+    #[inline]
+    pub fn sector_mut(&mut self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.n);
+        &mut self.data[i * self.m * self.l..(i + 1) * self.m * self.l]
+    }
+
+    /// Extract one indicator's time series for one sector: `K_{i,:,k}`.
+    pub fn series(&self, i: usize, k: usize) -> Vec<f64> {
+        (0..self.m).map(|j| self.get(i, j, k)).collect()
+    }
+
+    /// Copy a time-window slice `K_{i, j0..j1, :}` into a new
+    /// `(j1 - j0) × l` [`Matrix`] (rows = time, cols = feature).
+    ///
+    /// # Errors
+    /// Returns a range error if `j1 > m` or `j0 > j1`.
+    pub fn window(&self, i: usize, j0: usize, j1: usize) -> Result<Matrix> {
+        if i >= self.n {
+            return Err(CoreError::IndexOutOfRange { axis: "sector", index: i, len: self.n });
+        }
+        if j1 > self.m || j0 > j1 {
+            return Err(CoreError::IndexOutOfRange { axis: "time", index: j1, len: self.m });
+        }
+        let mut out = Vec::with_capacity((j1 - j0) * self.l);
+        for j in j0..j1 {
+            out.extend_from_slice(self.frame(i, j));
+        }
+        Matrix::from_vec(j1 - j0, self.l, out)
+    }
+
+    /// Raw row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Raw mutable row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Count of `NaN` (missing) entries.
+    pub fn count_nan(&self) -> usize {
+        self.data.iter().filter(|v| v.is_nan()).count()
+    }
+
+    /// Bitwise equality (treats `NaN == NaN` as true) — the right
+    /// comparison for determinism tests on tensors with gaps.
+    pub fn bit_eq(&self, other: &Tensor3) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+
+    /// Fraction of `NaN` entries in the whole tensor.
+    pub fn fraction_nan(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.count_nan() as f64 / self.data.len() as f64
+        }
+    }
+
+    /// Keep only the sectors where `mask[i]` is true, dropping the rest.
+    ///
+    /// Used for the paper's sector-filtering step (Sec. II-C).
+    ///
+    /// # Errors
+    /// Returns a dimension error if `mask.len() != n`.
+    pub fn retain_sectors(&self, mask: &[bool]) -> Result<Tensor3> {
+        if mask.len() != self.n {
+            return Err(CoreError::DimensionMismatch(format!(
+                "mask len {} != sectors {}",
+                mask.len(),
+                self.n
+            )));
+        }
+        let kept = mask.iter().filter(|&&b| b).count();
+        let mut data = Vec::with_capacity(kept * self.m * self.l);
+        for i in 0..self.n {
+            if mask[i] {
+                data.extend_from_slice(self.sector(i));
+            }
+        }
+        Tensor3::from_vec(kept, self.m, self.l, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Tensor3 {
+        Tensor3::from_fn(2, 3, 4, |i, j, k| (i * 100 + j * 10 + k) as f64)
+    }
+
+    #[test]
+    fn shape_and_indexing() {
+        let t = t();
+        assert_eq!(t.shape(), (2, 3, 4));
+        assert_eq!(t.get(1, 2, 3), 123.0);
+        assert_eq!(t.frame(1, 2), &[120.0, 121.0, 122.0, 123.0]);
+        assert_eq!(t.series(0, 1), vec![1.0, 11.0, 21.0]);
+    }
+
+    #[test]
+    fn from_vec_validates() {
+        assert!(Tensor3::from_vec(2, 3, 4, vec![0.0; 24]).is_ok());
+        assert!(Tensor3::from_vec(2, 3, 4, vec![0.0; 23]).is_err());
+    }
+
+    #[test]
+    fn try_get_bounds() {
+        let t = t();
+        assert!(t.try_get(1, 2, 3).is_ok());
+        assert!(t.try_get(2, 0, 0).is_err());
+        assert!(t.try_get(0, 3, 0).is_err());
+        assert!(t.try_get(0, 0, 4).is_err());
+    }
+
+    #[test]
+    fn window_copies_block() {
+        let t = t();
+        let w = t.window(1, 1, 3).unwrap();
+        assert_eq!(w.shape(), (2, 4));
+        assert_eq!(w.get(0, 0), 110.0);
+        assert_eq!(w.get(1, 3), 123.0);
+        assert!(t.window(0, 2, 1).is_err());
+        assert!(t.window(0, 0, 4).is_err());
+    }
+
+    #[test]
+    fn sector_block_is_contiguous() {
+        let t = t();
+        assert_eq!(t.sector(0).len(), 12);
+        assert_eq!(t.sector(1)[0], 100.0);
+    }
+
+    #[test]
+    fn nan_accounting() {
+        let mut t = Tensor3::zeros(2, 2, 2);
+        t.set(0, 0, 0, f64::NAN);
+        t.set(1, 1, 1, f64::NAN);
+        assert_eq!(t.count_nan(), 2);
+        assert!((t.fraction_nan() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retain_sectors_filters() {
+        let t = t();
+        let kept = t.retain_sectors(&[false, true]).unwrap();
+        assert_eq!(kept.shape(), (1, 3, 4));
+        assert_eq!(kept.get(0, 0, 0), 100.0);
+        assert!(t.retain_sectors(&[true]).is_err());
+    }
+}

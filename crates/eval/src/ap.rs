@@ -1,0 +1,177 @@
+//! Precision–recall curves and average precision.
+//!
+//! The forecasting task is evaluated as ranking: sectors are sorted by
+//! predicted probability `Ŷ` (largest first) and the true labels `Y`
+//! at the forecast day define relevance. Average precision `ψ` is the
+//! standard information-retrieval form — the mean of the precision at
+//! each rank where a relevant item appears (equivalently, the area
+//! under the stepwise PR curve).
+
+/// One point of a precision–recall curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrPoint {
+    /// Recall ∈ [0, 1].
+    pub recall: f64,
+    /// Precision ∈ [0, 1].
+    pub precision: f64,
+    /// Score threshold that produced this point.
+    pub threshold: f64,
+}
+
+/// Sort indices by descending score with a *stable* deterministic
+/// tie-break (original index order), skipping non-finite scores.
+fn ranked_indices(scores: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).filter(|&i| scores[i].is_finite()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b].partial_cmp(&scores[a]).expect("finite scores").then(a.cmp(&b))
+    });
+    idx
+}
+
+/// Average precision `ψ` of a ranking.
+///
+/// `labels[i]` is the ground truth of item `i` (`true` = relevant =
+/// hot spot); `scores[i]` its predicted score. Items with non-finite
+/// scores are ignored. Returns 0 when there are no relevant items.
+///
+/// # Panics
+/// Panics if the slices' lengths differ.
+pub fn average_precision(labels: &[bool], scores: &[f64]) -> f64 {
+    assert_eq!(labels.len(), scores.len(), "labels/scores length mismatch");
+    let order = ranked_indices(scores);
+    let total_pos = order.iter().filter(|&&i| labels[i]).count();
+    if total_pos == 0 {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut sum_precision = 0.0;
+    for (rank, &i) in order.iter().enumerate() {
+        if labels[i] {
+            hits += 1;
+            sum_precision += hits as f64 / (rank + 1) as f64;
+        }
+    }
+    sum_precision / total_pos as f64
+}
+
+/// The full precision–recall curve (one point per rank at which a
+/// relevant item appears). Empty when there are no relevant items.
+///
+/// # Panics
+/// Panics if the slices' lengths differ.
+pub fn pr_curve(labels: &[bool], scores: &[f64]) -> Vec<PrPoint> {
+    assert_eq!(labels.len(), scores.len(), "labels/scores length mismatch");
+    let order = ranked_indices(scores);
+    let total_pos = order.iter().filter(|&&i| labels[i]).count();
+    if total_pos == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(total_pos);
+    let mut hits = 0usize;
+    for (rank, &i) in order.iter().enumerate() {
+        if labels[i] {
+            hits += 1;
+            out.push(PrPoint {
+                recall: hits as f64 / total_pos as f64,
+                precision: hits as f64 / (rank + 1) as f64,
+                threshold: scores[i],
+            });
+        }
+    }
+    out
+}
+
+/// The expected average precision of a *random* ranking, which equals
+/// the prevalence asymptotically — handy to sanity-check `Λ ≈ 1`.
+pub fn random_ap_expectation(labels: &[bool]) -> f64 {
+    if labels.is_empty() {
+        return 0.0;
+    }
+    labels.iter().filter(|&&y| y).count() as f64 / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_is_one() {
+        let labels = [true, true, false, false];
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        assert!((average_precision(&labels, &scores) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_ranking_value() {
+        // Positives ranked last among 4: precisions 1/3 and 2/4.
+        let labels = [false, false, true, true];
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let expected = (1.0 / 3.0 + 2.0 / 4.0) / 2.0;
+        assert!((average_precision(&labels, &scores) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn textbook_example() {
+        // Ranking: + - + - -  →  AP = (1/1 + 2/3) / 2.
+        let labels = [true, false, true, false, false];
+        let scores = [0.9, 0.8, 0.7, 0.6, 0.5];
+        let expected = (1.0 + 2.0 / 3.0) / 2.0;
+        assert!((average_precision(&labels, &scores) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_positives_is_zero() {
+        assert_eq!(average_precision(&[false, false], &[0.1, 0.2]), 0.0);
+        assert!(pr_curve(&[false, false], &[0.1, 0.2]).is_empty());
+        assert_eq!(average_precision(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let labels = [false, true, true, false];
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        // Stable tie-break by index: ranking is 0,1,2,3.
+        let expected = (1.0 / 2.0 + 2.0 / 3.0) / 2.0;
+        assert!((average_precision(&labels, &scores) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_scores_ignored() {
+        let labels = [true, true, false];
+        let scores = [f64::NAN, 0.9, 0.1];
+        // Only items 1 and 2 are ranked; one positive remains of two,
+        // but total_pos counts ranked positives only.
+        let ap = average_precision(&labels, &scores);
+        assert!((ap - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_shape() {
+        let labels = [true, false, true, false];
+        let scores = [0.9, 0.8, 0.7, 0.6];
+        let c = pr_curve(&labels, &scores);
+        assert_eq!(c.len(), 2);
+        assert!((c[0].recall - 0.5).abs() < 1e-12);
+        assert!((c[0].precision - 1.0).abs() < 1e-12);
+        assert!((c[1].recall - 1.0).abs() < 1e-12);
+        assert!((c[1].precision - 2.0 / 3.0).abs() < 1e-12);
+        // Recall is non-decreasing.
+        assert!(c[0].recall <= c[1].recall);
+    }
+
+    #[test]
+    fn random_expectation_is_prevalence() {
+        let labels = [true, false, false, false];
+        assert!((random_ap_expectation(&labels) - 0.25).abs() < 1e-12);
+        assert_eq!(random_ap_expectation(&[]), 0.0);
+    }
+
+    #[test]
+    fn ap_bounded_by_prevalence_and_one() {
+        // AP of any ranking is within [~prevalence-ish lower bound, 1].
+        let labels = [true, false, true, false, false, false];
+        let scores = [0.3, 0.9, 0.5, 0.2, 0.8, 0.1];
+        let ap = average_precision(&labels, &scores);
+        assert!(ap > 0.0 && ap <= 1.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Probability-calibration diagnostics: reliability curves and the
+//! Brier score.
+//!
+//! The paper evaluates rankings only (average precision / lift), but
+//! an operator acting on forecasts also needs the probabilities to
+//! *mean something* — "p = 0.8" should come true about 80% of the
+//! time. These diagnostics back the ablation discussion of forest
+//! depth and size.
+
+/// One bucket of a reliability curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliabilityBin {
+    /// Mean predicted probability of items in the bin.
+    pub mean_predicted: f64,
+    /// Observed positive fraction of items in the bin.
+    pub observed: f64,
+    /// Items in the bin.
+    pub count: usize,
+}
+
+/// Reliability curve over `bins` equal-width probability buckets.
+/// Bins with no items are omitted. Non-finite predictions are
+/// skipped.
+///
+/// # Panics
+/// Panics if the slices' lengths differ or `bins == 0`.
+pub fn reliability_curve(labels: &[bool], probabilities: &[f64], bins: usize) -> Vec<ReliabilityBin> {
+    assert_eq!(labels.len(), probabilities.len(), "length mismatch");
+    assert!(bins > 0, "need at least one bin");
+    let mut sums = vec![0.0; bins];
+    let mut hits = vec![0usize; bins];
+    let mut counts = vec![0usize; bins];
+    for (&y, &p) in labels.iter().zip(probabilities) {
+        if !p.is_finite() {
+            continue;
+        }
+        let b = ((p.clamp(0.0, 1.0) * bins as f64) as usize).min(bins - 1);
+        sums[b] += p;
+        counts[b] += 1;
+        if y {
+            hits[b] += 1;
+        }
+    }
+    (0..bins)
+        .filter(|&b| counts[b] > 0)
+        .map(|b| ReliabilityBin {
+            mean_predicted: sums[b] / counts[b] as f64,
+            observed: hits[b] as f64 / counts[b] as f64,
+            count: counts[b],
+        })
+        .collect()
+}
+
+/// The Brier score: mean squared error between probability and
+/// outcome. 0 is perfect; predicting the prevalence scores
+/// `p̄(1 − p̄)`. Non-finite predictions are skipped; `NaN` on empty
+/// input.
+///
+/// # Panics
+/// Panics if the slices' lengths differ.
+pub fn brier_score(labels: &[bool], probabilities: &[f64]) -> f64 {
+    assert_eq!(labels.len(), probabilities.len(), "length mismatch");
+    let mut ss = 0.0;
+    let mut n = 0usize;
+    for (&y, &p) in labels.iter().zip(probabilities) {
+        if !p.is_finite() {
+            continue;
+        }
+        let target = if y { 1.0 } else { 0.0 };
+        ss += (p - target) * (p - target);
+        n += 1;
+    }
+    if n == 0 {
+        f64::NAN
+    } else {
+        ss / n as f64
+    }
+}
+
+/// Expected calibration error: the count-weighted mean absolute gap
+/// between predicted and observed frequencies over the reliability
+/// bins.
+pub fn expected_calibration_error(labels: &[bool], probabilities: &[f64], bins: usize) -> f64 {
+    let curve = reliability_curve(labels, probabilities, bins);
+    let total: usize = curve.iter().map(|b| b.count).sum();
+    if total == 0 {
+        return f64::NAN;
+    }
+    curve
+        .iter()
+        .map(|b| (b.count as f64 / total as f64) * (b.mean_predicted - b.observed).abs())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions_score_zero() {
+        let labels = [true, false, true, false];
+        let probs = [1.0, 0.0, 1.0, 0.0];
+        assert_eq!(brier_score(&labels, &probs), 0.0);
+        assert_eq!(expected_calibration_error(&labels, &probs, 10), 0.0);
+    }
+
+    #[test]
+    fn constant_half_scores_quarter() {
+        let labels = [true, false, true, false];
+        let probs = [0.5; 4];
+        assert!((brier_score(&labels, &probs) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reliability_curve_buckets_correctly() {
+        // 0.1-bucket holds 1 of 4 positives; 0.9-bucket all positive.
+        let labels = [false, false, false, true, true, true];
+        let probs = [0.11, 0.12, 0.13, 0.14, 0.92, 0.95];
+        let curve = reliability_curve(&labels, &probs, 10);
+        assert_eq!(curve.len(), 2);
+        assert_eq!(curve[0].count, 4);
+        assert!((curve[0].observed - 0.25).abs() < 1e-12);
+        assert!((curve[0].mean_predicted - 0.125).abs() < 1e-12);
+        assert_eq!(curve[1].count, 2);
+        assert_eq!(curve[1].observed, 1.0);
+    }
+
+    #[test]
+    fn miscalibration_detected() {
+        // Predict 0.9 on all-negative data.
+        let labels = [false; 10];
+        let probs = [0.9; 10];
+        assert!((brier_score(&labels, &probs) - 0.81).abs() < 1e-12);
+        assert!((expected_calibration_error(&labels, &probs, 5) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn handles_edge_cases() {
+        assert!(brier_score(&[], &[]).is_nan());
+        assert!(expected_calibration_error(&[], &[], 4).is_nan());
+        let labels = [true];
+        let probs = [f64::NAN];
+        assert!(brier_score(&labels, &probs).is_nan());
+        // p = 1.0 lands in the final bin, not out of range.
+        let curve = reliability_curve(&[true], &[1.0], 4);
+        assert_eq!(curve.len(), 1);
+        assert_eq!(curve[0].count, 1);
+    }
+}

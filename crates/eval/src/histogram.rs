@@ -1,0 +1,213 @@
+//! Histograms, including the log-spaced distance buckets of Fig. 8
+//! and the normalised count histograms of Figs. 4, 6, and 7.
+
+/// A histogram over explicit bucket edges.
+///
+/// Bucket `b` covers `[edges[b], edges[b+1])`; the final bucket is
+/// closed on the right so the maximum lands inside. Values outside the
+/// edges are counted in `underflow` / `overflow`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    edges: Vec<f64>,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Create an empty histogram over the given edges.
+    ///
+    /// # Panics
+    /// Panics if fewer than two edges or the edges are not strictly
+    /// increasing.
+    pub fn new(edges: Vec<f64>) -> Self {
+        assert!(edges.len() >= 2, "need at least two edges");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "edges must be strictly increasing"
+        );
+        let buckets = edges.len() - 1;
+        Histogram { edges, counts: vec![0; buckets], underflow: 0, overflow: 0 }
+    }
+
+    /// Uniform edges over `[lo, hi]` with `buckets` buckets.
+    pub fn uniform(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(buckets > 0 && hi > lo);
+        let step = (hi - lo) / buckets as f64;
+        Self::new((0..=buckets).map(|i| lo + step * i as f64).collect())
+    }
+
+    /// Find the bucket for a value, if inside range.
+    fn bucket_of(&self, v: f64) -> Option<usize> {
+        let first = *self.edges.first().expect("non-empty");
+        let last = *self.edges.last().expect("non-empty");
+        if v < first {
+            return None;
+        }
+        if v > last {
+            return None;
+        }
+        if v == last {
+            return Some(self.counts.len() - 1);
+        }
+        // Binary search over edges.
+        let mut lo = 0usize;
+        let mut hi = self.edges.len() - 1;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if v >= self.edges[mid] {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(lo)
+    }
+
+    /// Add one observation (`NaN` is ignored entirely).
+    pub fn add(&mut self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        match self.bucket_of(v) {
+            Some(b) => self.counts[b] += 1,
+            None => {
+                if v < self.edges[0] {
+                    self.underflow += 1;
+                } else {
+                    self.overflow += 1;
+                }
+            }
+        }
+    }
+
+    /// Add many observations.
+    pub fn extend(&mut self, vs: impl IntoIterator<Item = f64>) {
+        for v in vs {
+            self.add(v);
+        }
+    }
+
+    /// Raw counts per bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Bucket edges.
+    pub fn edges(&self) -> &[f64] {
+        &self.edges
+    }
+
+    /// Out-of-range counts `(underflow, overflow)`.
+    pub fn out_of_range(&self) -> (u64, u64) {
+        (self.underflow, self.overflow)
+    }
+
+    /// Total in-range observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Relative counts (normalised to sum to 1 over in-range buckets;
+    /// all zeros if empty) — the "relative count" axes of Figs. 4–7.
+    pub fn relative(&self) -> Vec<f64> {
+        let total = self.total();
+        if total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c as f64 / total as f64).collect()
+    }
+
+    /// Bucket midpoints (arithmetic).
+    pub fn midpoints(&self) -> Vec<f64> {
+        self.edges.windows(2).map(|w| 0.5 * (w[0] + w[1])).collect()
+    }
+}
+
+/// Log-spaced edges from `first_positive` to `max` with `buckets`
+/// buckets, with an extra leading `[0, first_positive)` bucket to hold
+/// exact zeros (Fig. 8 needs a distance-0 bucket for co-tower pairs).
+pub fn log_spaced_edges(first_positive: f64, max: f64, buckets: usize) -> Vec<f64> {
+    assert!(first_positive > 0.0 && max > first_positive && buckets > 0);
+    let ratio = (max / first_positive).powf(1.0 / buckets as f64);
+    let mut edges = Vec::with_capacity(buckets + 2);
+    edges.push(0.0);
+    let mut v = first_positive;
+    for _ in 0..=buckets {
+        edges.push(v);
+        v *= ratio;
+    }
+    // Guard against floating-point drift on the last edge.
+    let n = edges.len();
+    edges[n - 1] = edges[n - 1].max(max);
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_binning() {
+        let mut h = Histogram::uniform(0.0, 10.0, 5);
+        h.extend([0.0, 1.0, 2.0, 5.0, 9.9, 10.0]);
+        assert_eq!(h.counts(), &[2, 1, 1, 0, 2]);
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.out_of_range(), (0, 0));
+    }
+
+    #[test]
+    fn out_of_range_and_nan() {
+        let mut h = Histogram::uniform(0.0, 1.0, 2);
+        h.extend([-0.5, 2.0, f64::NAN, 0.5]);
+        assert_eq!(h.out_of_range(), (1, 1));
+        assert_eq!(h.total(), 1);
+    }
+
+    #[test]
+    fn relative_sums_to_one() {
+        let mut h = Histogram::uniform(0.0, 4.0, 4);
+        h.extend([0.5, 1.5, 1.6, 3.9]);
+        let r = h.relative();
+        assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(r[1], 0.5);
+        // Empty histogram: all zeros.
+        let e = Histogram::uniform(0.0, 1.0, 3);
+        assert_eq!(e.relative(), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn max_value_lands_in_last_bucket() {
+        let mut h = Histogram::new(vec![0.0, 1.0, 2.0]);
+        h.add(2.0);
+        assert_eq!(h.counts(), &[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_edges() {
+        Histogram::new(vec![0.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn log_edges_shape() {
+        let edges = log_spaced_edges(0.1, 204.8, 11);
+        assert_eq!(edges[0], 0.0);
+        assert!((edges[1] - 0.1).abs() < 1e-12);
+        assert!(*edges.last().unwrap() >= 204.8);
+        // Ratio between consecutive positive edges is constant.
+        let r1 = edges[3] / edges[2];
+        let r2 = edges[4] / edges[3];
+        assert!((r1 - r2).abs() < 1e-9);
+        // Zero-distance pairs land in the leading bucket.
+        let mut h = Histogram::new(edges);
+        h.add(0.0);
+        assert_eq!(h.counts()[0], 1);
+    }
+
+    #[test]
+    fn midpoints_between_edges() {
+        let h = Histogram::new(vec![0.0, 2.0, 6.0]);
+        assert_eq!(h.midpoints(), vec![1.0, 4.0]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Two-sample Kolmogorov–Smirnov test (Sec. V-A).
+//!
+//! Used to compare the distribution of average-precision values
+//! between two halves of the evaluation period. The statistic is the
+//! supremum distance between empirical CDFs; the p-value uses the
+//! asymptotic Kolmogorov distribution
+//! `Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} e^{−2k²λ²}` with the effective sample
+//! size `nₑ = n₁n₂/(n₁+n₂)` and the Stephens small-sample correction
+//! `λ = (√nₑ + 0.12 + 0.11/√nₑ)·D`, as in Numerical Recipes / SciPy's
+//! asymptotic mode.
+
+/// Result of a two-sample KS test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsResult {
+    /// Supremum distance between the two empirical CDFs.
+    pub statistic: f64,
+    /// Asymptotic two-sided p-value.
+    pub p_value: f64,
+    /// Sample sizes `(n₁, n₂)`.
+    pub sizes: (usize, usize),
+}
+
+/// The asymptotic Kolmogorov survival function `Q(λ)`.
+fn kolmogorov_q(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64) * (k as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// Two-sample KS test on finite samples (`NaN`s are dropped).
+///
+/// Returns `None` when either sample is empty after filtering.
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> Option<KsResult> {
+    let mut xs: Vec<f64> = a.iter().copied().filter(|v| v.is_finite()).collect();
+    let mut ys: Vec<f64> = b.iter().copied().filter(|v| v.is_finite()).collect();
+    if xs.is_empty() || ys.is_empty() {
+        return None;
+    }
+    xs.sort_by(|p, q| p.partial_cmp(q).expect("finite"));
+    ys.sort_by(|p, q| p.partial_cmp(q).expect("finite"));
+
+    let n1 = xs.len();
+    let n2 = ys.len();
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < n1 && j < n2 {
+        let x = xs[i];
+        let y = ys[j];
+        let v = x.min(y);
+        while i < n1 && xs[i] <= v {
+            i += 1;
+        }
+        while j < n2 && ys[j] <= v {
+            j += 1;
+        }
+        let f1 = i as f64 / n1 as f64;
+        let f2 = j as f64 / n2 as f64;
+        d = d.max((f1 - f2).abs());
+    }
+    let ne = (n1 as f64 * n2 as f64) / (n1 as f64 + n2 as f64);
+    let lambda = (ne.sqrt() + 0.12 + 0.11 / ne.sqrt()) * d;
+    Some(KsResult { statistic: d, p_value: kolmogorov_q(lambda), sizes: (n1, n2) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_have_zero_statistic() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let r = ks_two_sample(&a, &a).unwrap();
+        assert_eq!(r.statistic, 0.0);
+        assert!((r.p_value - 1.0).abs() < 1e-9);
+        assert_eq!(r.sizes, (5, 5));
+    }
+
+    #[test]
+    fn disjoint_samples_have_statistic_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 11.0, 12.0];
+        let r = ks_two_sample(&a, &b).unwrap();
+        assert_eq!(r.statistic, 1.0);
+        assert!(r.p_value < 0.1);
+    }
+
+    #[test]
+    fn same_distribution_large_samples_high_p() {
+        // Two interleaved arithmetic samples from the same uniform grid.
+        let a: Vec<f64> = (0..500).map(|i| (i as f64 * 2.0) % 100.0).collect();
+        let b: Vec<f64> = (0..500).map(|i| (i as f64 * 2.0 + 1.0) % 100.0).collect();
+        let r = ks_two_sample(&a, &b).unwrap();
+        assert!(r.statistic < 0.06, "D = {}", r.statistic);
+        assert!(r.p_value > 0.3, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn shifted_distribution_low_p() {
+        let a: Vec<f64> = (0..200).map(|i| i as f64 / 200.0).collect();
+        let b: Vec<f64> = (0..200).map(|i| i as f64 / 200.0 + 0.3).collect();
+        let r = ks_two_sample(&a, &b).unwrap();
+        assert!(r.p_value < 0.01, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn known_statistic_small_case() {
+        // F1 steps at 1,2 (n=2); F2 steps at 1.5 (n=1).
+        // At v=1: F1=0.5, F2=0 → D ≥ 0.5. At v=1.5: F1=0.5, F2=1 → 0.5.
+        let r = ks_two_sample(&[1.0, 2.0], &[1.5]).unwrap();
+        assert!((r.statistic - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn handles_nan_and_empty() {
+        assert!(ks_two_sample(&[], &[1.0]).is_none());
+        assert!(ks_two_sample(&[f64::NAN], &[1.0]).is_none());
+        let r = ks_two_sample(&[1.0, f64::NAN, 2.0], &[1.0, 2.0]).unwrap();
+        assert_eq!(r.sizes, (2, 2));
+    }
+
+    #[test]
+    fn kolmogorov_q_monotone() {
+        assert_eq!(kolmogorov_q(0.0), 1.0);
+        assert!(kolmogorov_q(0.5) > kolmogorov_q(1.0));
+        assert!(kolmogorov_q(1.0) > kolmogorov_q(2.0));
+        assert!(kolmogorov_q(3.0) < 1e-6);
+        // Known reference value: Q(1.0) ≈ 0.27.
+        assert!((kolmogorov_q(1.0) - 0.27).abs() < 0.01);
+    }
+}

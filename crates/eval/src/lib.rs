@@ -1,0 +1,24 @@
+//! # hotspot-eval
+//!
+//! Evaluation machinery for the forecasting study (Sec. IV-B):
+//! precision–recall curves and average precision `ψ`, lift over the
+//! random model `Λ = ψ(F) / ψ(F⁰)` and relative ratios
+//! `Δ = 100·(Λⱼ/Λᵢ − 1)`, the two-sample Kolmogorov–Smirnov test used
+//! for the temporal-stability analysis (Sec. V-A), Pearson correlation
+//! for the spatial analysis (Sec. III), and the descriptive statistics
+//! (means, percentiles, confidence intervals, log-spaced histograms)
+//! the figures are drawn from.
+
+pub mod ap;
+pub mod calibration;
+pub mod histogram;
+pub mod ks;
+pub mod lift;
+pub mod stats;
+
+pub use ap::{average_precision, pr_curve, PrPoint};
+pub use calibration::{brier_score, expected_calibration_error, reliability_curve, ReliabilityBin};
+pub use histogram::{log_spaced_edges, Histogram};
+pub use ks::{ks_two_sample, KsResult};
+pub use lift::{delta_percent, lift};
+pub use stats::{mean, mean_ci95, pearson, percentile, Summary};

@@ -1,0 +1,58 @@
+//! Lift over random and relative model ratios (Sec. IV-B).
+
+/// Lift `Λ = ψ_model / ψ_random`. Returns `NaN` when the random
+/// reference is zero or either input is non-finite (no positives in
+/// the evaluation day — the sweep runner skips those days).
+pub fn lift(ap_model: f64, ap_random: f64) -> f64 {
+    if !ap_model.is_finite() || !ap_random.is_finite() || ap_random <= 0.0 {
+        f64::NAN
+    } else {
+        ap_model / ap_random
+    }
+}
+
+/// Relative improvement `Δᵢⱼ = 100 · (Λⱼ / Λᵢ − 1)` of model `j` over
+/// reference model `i`, in percent. `NaN` when the reference lift is
+/// zero or either input is non-finite.
+pub fn delta_percent(lift_reference: f64, lift_model: f64) -> f64 {
+    if !lift_reference.is_finite() || !lift_model.is_finite() || lift_reference <= 0.0 {
+        f64::NAN
+    } else {
+        100.0 * (lift_model / lift_reference - 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lift_ratios() {
+        assert!((lift(0.5, 0.05) - 10.0).abs() < 1e-12);
+        assert!((lift(0.05, 0.05) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lift_degenerate_cases() {
+        assert!(lift(0.5, 0.0).is_nan());
+        assert!(lift(f64::NAN, 0.1).is_nan());
+        assert!(lift(0.1, f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn delta_matches_paper_semantics() {
+        // A model 14% better than the baseline.
+        assert!((delta_percent(10.0, 11.4) - 14.0).abs() < 1e-9);
+        // Equal models → 0%.
+        assert_eq!(delta_percent(5.0, 5.0), 0.0);
+        // Worse model → negative.
+        assert!(delta_percent(10.0, 9.0) < 0.0);
+    }
+
+    #[test]
+    fn delta_degenerate_cases() {
+        assert!(delta_percent(0.0, 1.0).is_nan());
+        assert!(delta_percent(f64::NAN, 1.0).is_nan());
+        assert!(delta_percent(1.0, f64::NAN).is_nan());
+    }
+}

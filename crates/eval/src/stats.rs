@@ -1,0 +1,209 @@
+//! Descriptive statistics: means, percentiles, normal-approximation
+//! confidence intervals, and Pearson correlation.
+
+/// Mean of the finite entries (`NaN` if none).
+pub fn mean(xs: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for &x in xs {
+        if x.is_finite() {
+            sum += x;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        f64::NAN
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Sample standard deviation (n−1 denominator) of the finite entries.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    if !m.is_finite() {
+        return f64::NAN;
+    }
+    let mut ss = 0.0;
+    let mut n = 0usize;
+    for &x in xs {
+        if x.is_finite() {
+            ss += (x - m) * (x - m);
+            n += 1;
+        }
+    }
+    if n < 2 {
+        0.0
+    } else {
+        (ss / (n - 1) as f64).sqrt()
+    }
+}
+
+/// Mean with a normal-approximation 95% confidence half-width
+/// (`1.96 · s/√n`) — the shaded regions of Figs. 9–14.
+/// Returns `(mean, half_width)`.
+pub fn mean_ci95(xs: &[f64]) -> (f64, f64) {
+    let m = mean(xs);
+    let n = xs.iter().filter(|x| x.is_finite()).count();
+    if n < 2 {
+        return (m, 0.0);
+    }
+    (m, 1.96 * std_dev(xs) / (n as f64).sqrt())
+}
+
+/// Linear-interpolation percentile `q ∈ [0, 100]` over the finite
+/// entries (`NaN` if none). Matches NumPy's default ("linear") method.
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    let mut v: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite()).collect();
+    if v.is_empty() {
+        return f64::NAN;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let q = q.clamp(0.0, 100.0) / 100.0;
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let frac = pos - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    }
+}
+
+/// Pearson correlation coefficient over pairwise-finite entries.
+/// `NaN` when fewer than two valid pairs or either side is constant.
+///
+/// # Panics
+/// Panics if the slices' lengths differ.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson: length mismatch");
+    let pairs: Vec<(f64, f64)> = xs
+        .iter()
+        .zip(ys)
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .map(|(&x, &y)| (x, y))
+        .collect();
+    if pairs.len() < 2 {
+        return f64::NAN;
+    }
+    let n = pairs.len() as f64;
+    let mx = pairs.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = pairs.iter().map(|p| p.1).sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in pairs {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        f64::NAN
+    } else {
+        sxy / (sxx * syy).sqrt()
+    }
+}
+
+/// A five-number-plus summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Count of finite entries.
+    pub n: usize,
+    /// Mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// 5th percentile.
+    pub p5: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub p50: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 95th percentile.
+    pub p95: f64,
+}
+
+impl Summary {
+    /// Summarise a sample.
+    pub fn of(xs: &[f64]) -> Summary {
+        Summary {
+            n: xs.iter().filter(|x| x.is_finite()).count(),
+            mean: mean(xs),
+            std_dev: std_dev(xs),
+            p5: percentile(xs, 5.0),
+            p25: percentile(xs, 25.0),
+            p50: percentile(xs, 50.0),
+            p75: percentile(xs, 75.0),
+            p95: percentile(xs, 95.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!(mean(&[]).is_nan());
+        assert_eq!(mean(&[1.0, f64::NAN, 3.0]), 2.0);
+        assert!((std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 2.138089935).abs() < 1e-6);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn ci_shrinks_with_n() {
+        let small = [1.0, 2.0, 3.0, 4.0];
+        let big: Vec<f64> = (0..400).map(|i| 1.0 + (i % 4) as f64).collect();
+        let (_, hw_small) = mean_ci95(&small);
+        let (m_big, hw_big) = mean_ci95(&big);
+        assert!(hw_big < hw_small);
+        assert!((m_big - 2.5).abs() < 1e-9);
+        assert_eq!(mean_ci95(&[1.0]).1, 0.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert!((percentile(&xs, 50.0) - 2.5).abs() < 1e-12);
+        assert!((percentile(&xs, 25.0) - 1.75).abs() < 1e-12);
+        assert!(percentile(&[], 50.0).is_nan());
+        assert_eq!(percentile(&[7.0], 50.0), 7.0);
+    }
+
+    #[test]
+    fn pearson_known_values() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert!((pearson(&x, &x) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = x.iter().map(|v| -v).collect();
+        assert!((pearson(&x, &neg) + 1.0).abs() < 1e-12);
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        // Orthogonal-ish.
+        let z = [1.0, -1.0, 1.0, -1.0];
+        assert!(pearson(&x, &z).abs() < 0.5);
+    }
+
+    #[test]
+    fn pearson_degenerate() {
+        assert!(pearson(&[1.0, 1.0], &[2.0, 3.0]).is_nan()); // constant x
+        assert!(pearson(&[1.0], &[2.0]).is_nan()); // too short
+        assert!(pearson(&[1.0, f64::NAN, 3.0], &[1.0, 2.0, 3.0]).is_finite());
+    }
+
+    #[test]
+    fn summary_consistency() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = Summary::of(&xs);
+        assert_eq!(s.n, 100);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        assert!(s.p5 < s.p25 && s.p25 < s.p50 && s.p50 < s.p75 && s.p75 < s.p95);
+        assert!((s.p50 - 50.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,25 @@
+//! # hotspot-features
+//!
+//! Input assembly for the forecasting models:
+//!
+//! * [`tensor_x`] — the combined tensor `X` of Eq. 5:
+//!   `X = [K ‖ C ‖ Sʰ ‖ Sᵈ↑ ‖ Sʷ↑ ‖ Yᵈ↑]` along the feature axis,
+//!   with daily/weekly signals brute-force upsampled to hourly
+//!   resolution. With `l = 21` KPIs it has `l + 5 + 3 + 1 = 30`
+//!   features; stable indices live in [`tensor_x::feat`].
+//! * [`windows`] — the `(t, h, w)` slicing of Eqs. 6–7: training reads
+//!   `X_{i, t−h−w : t−h}` against label `Y_{i,t}`; forecasting reads
+//!   `X_{i, t−w : t}`.
+//! * [`builders`] — the three representations of Sec. IV-D:
+//!   [`builders::RawFlatten`] (RF-R), [`builders::DailyPercentiles`]
+//!   (RF-F1, the 5/25/50/75/95 daily percentiles), and
+//!   [`builders::HandCrafted`] (RF-F2, window statistics, day/week
+//!   average and extreme profiles, and the raw last day).
+
+pub mod builders;
+pub mod tensor_x;
+pub mod windows;
+
+pub use builders::{DailyPercentiles, FeatureBuilder, HandCrafted, RawFlatten};
+pub use tensor_x::{build_tensor_x, feat};
+pub use windows::{forecast_window_days, train_window_days, WindowSpec};

@@ -1,0 +1,178 @@
+//! The combined input tensor `X` (Eq. 5).
+
+use hotspot_core::error::{CoreError, Result};
+use hotspot_core::pipeline::ScoredNetwork;
+use hotspot_core::tensor::Tensor3;
+use hotspot_core::HOURS_PER_DAY;
+
+/// Stable feature indices inside `X` for the standard 21-KPI setup.
+///
+/// These match the `k` axis the paper's Figs. 15–16 are plotted over
+/// (0-based here; the paper's prose is 1-based).
+pub mod feat {
+    /// First KPI column (KPIs occupy `0..N_KPIS`).
+    pub const KPI_START: usize = 0;
+    /// Number of KPI columns.
+    pub const N_KPIS: usize = 21;
+    /// First calendar column (5 columns: hour-of-day, day-of-week,
+    /// day-of-month, weekend, holiday).
+    pub const CALENDAR_START: usize = N_KPIS;
+    /// Number of calendar columns.
+    pub const N_CALENDAR: usize = 5;
+    /// Hourly score `Sʰ`.
+    pub const S_HOURLY: usize = CALENDAR_START + N_CALENDAR; // 26
+    /// Upsampled daily score `Sᵈ`.
+    pub const S_DAILY: usize = S_HOURLY + 1; // 27
+    /// Upsampled weekly score `Sʷ`.
+    pub const S_WEEKLY: usize = S_DAILY + 1; // 28
+    /// Upsampled daily label `Yᵈ`.
+    pub const Y_DAILY: usize = S_WEEKLY + 1; // 29
+    /// Total feature count.
+    pub const TOTAL: usize = Y_DAILY + 1; // 30
+}
+
+/// Assemble `X` from the (imputed) KPI tensor and the scored network.
+///
+/// Layout along the third axis: `l` KPIs, 5 calendar signals
+/// (replicated across sectors, `R₁` in the paper), `Sʰ`, then `Sᵈ`,
+/// `Sʷ`, `Yᵈ` brute-force upsampled to hourly resolution (`U₁`).
+/// The time axis is truncated to whole days covered by all signals
+/// (`min(mʰ, 24·mᵈ)`); hours beyond the last whole *week* reuse the
+/// final weekly value, matching the paper's upsampling by repetition.
+///
+/// # Errors
+/// Rejects sector-count mismatches between the KPI tensor and the
+/// scored products.
+pub fn build_tensor_x(kpis: &Tensor3, scored: &ScoredNetwork) -> Result<Tensor3> {
+    let (n, mh_k, l) = kpis.shape();
+    if n != scored.n_sectors() {
+        return Err(CoreError::DimensionMismatch(format!(
+            "kpis have {n} sectors, scores have {}",
+            scored.n_sectors()
+        )));
+    }
+    let mh = mh_k.min(scored.n_hours()).min(scored.n_days() * HOURS_PER_DAY);
+    let total = l + feat::N_CALENDAR + 3 + 1;
+    let calendar = scored.calendar.matrix();
+    let mut x = Tensor3::zeros(n, mh, total);
+    let n_weeks = scored.n_weeks();
+    for i in 0..n {
+        for j in 0..mh {
+            let day = j / HOURS_PER_DAY;
+            let week = (j / hotspot_core::HOURS_PER_WEEK).min(n_weeks - 1);
+            let frame = x.frame_mut(i, j);
+            frame[..l].copy_from_slice(&kpis.frame(i, j)[..l]);
+            for c in 0..feat::N_CALENDAR {
+                frame[l + c] = calendar.get(j, c);
+            }
+            frame[l + feat::N_CALENDAR] = scored.s_hourly.get(i, j);
+            frame[l + feat::N_CALENDAR + 1] = scored.s_daily.get(i, day);
+            frame[l + feat::N_CALENDAR + 2] = scored.s_weekly.get(i, week);
+            frame[l + feat::N_CALENDAR + 3] = scored.y_daily.get(i, day);
+        }
+    }
+    Ok(x)
+}
+
+/// Human-readable name of feature column `k` in `X` (standard setup).
+pub fn feature_name(k: usize) -> String {
+    let catalog = hotspot_core::kpi::KpiCatalog::standard();
+    match k {
+        _ if k < feat::N_KPIS => catalog.defs()[k].name.to_string(),
+        _ if k < feat::S_HOURLY => {
+            let names = ["hour_of_day", "day_of_week", "day_of_month", "is_weekend", "is_holiday"];
+            names[k - feat::CALENDAR_START].to_string()
+        }
+        feat::S_HOURLY => "score_hourly".to_string(),
+        feat::S_DAILY => "score_daily".to_string(),
+        feat::S_WEEKLY => "score_weekly".to_string(),
+        feat::Y_DAILY => "label_daily".to_string(),
+        _ => format!("feature_{k}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotspot_core::pipeline::ScorePipeline;
+    use hotspot_core::HOURS_PER_WEEK;
+
+    fn scored_fixture() -> (Tensor3, ScoredNetwork) {
+        let catalog = hotspot_core::kpi::KpiCatalog::standard();
+        let kpis = Tensor3::from_fn(2, HOURS_PER_WEEK * 2, 21, |i, j, k| {
+            let def = &catalog.defs()[k];
+            if i == 0 && (j / 24) % 2 == 0 {
+                def.degraded
+            } else {
+                def.nominal
+            }
+        });
+        let scored = ScorePipeline::standard().run(&kpis).unwrap();
+        (kpis, scored)
+    }
+
+    #[test]
+    fn shape_is_n_mh_30() {
+        let (kpis, scored) = scored_fixture();
+        let x = build_tensor_x(&kpis, &scored).unwrap();
+        assert_eq!(x.shape(), (2, HOURS_PER_WEEK * 2, feat::TOTAL));
+        assert_eq!(feat::TOTAL, 30);
+    }
+
+    #[test]
+    fn kpis_are_copied_verbatim() {
+        let (kpis, scored) = scored_fixture();
+        let x = build_tensor_x(&kpis, &scored).unwrap();
+        assert_eq!(x.get(0, 5, 3), kpis.get(0, 5, 3));
+        assert_eq!(x.get(1, 100, 20), kpis.get(1, 100, 20));
+    }
+
+    #[test]
+    fn upsampled_columns_repeat_within_period() {
+        let (kpis, scored) = scored_fixture();
+        let x = build_tensor_x(&kpis, &scored).unwrap();
+        // Daily score constant across the 24 hours of day 3.
+        let day3 = scored.s_daily.get(0, 3);
+        for h in 0..24 {
+            assert_eq!(x.get(0, 3 * 24 + h, feat::S_DAILY), day3);
+        }
+        // Weekly score constant across week 1.
+        let week1 = scored.s_weekly.get(0, 1);
+        for h in 0..HOURS_PER_WEEK {
+            assert_eq!(x.get(0, HOURS_PER_WEEK + h, feat::S_WEEKLY), week1);
+        }
+        // Daily label column mirrors y_daily.
+        assert_eq!(x.get(0, 0, feat::Y_DAILY), scored.y_daily.get(0, 0));
+    }
+
+    #[test]
+    fn calendar_is_shared_across_sectors() {
+        let (kpis, scored) = scored_fixture();
+        let x = build_tensor_x(&kpis, &scored).unwrap();
+        for c in 0..feat::N_CALENDAR {
+            assert_eq!(
+                x.get(0, 50, feat::CALENDAR_START + c),
+                x.get(1, 50, feat::CALENDAR_START + c)
+            );
+        }
+        // Hour of day cycles.
+        assert_eq!(x.get(0, 25, feat::CALENDAR_START), 1.0);
+    }
+
+    #[test]
+    fn sector_mismatch_rejected() {
+        let (_, scored) = scored_fixture();
+        let other = Tensor3::zeros(3, HOURS_PER_WEEK, 21);
+        assert!(build_tensor_x(&other, &scored).is_err());
+    }
+
+    #[test]
+    fn feature_names_are_stable() {
+        assert_eq!(feature_name(9), "hs_queue_users");
+        assert_eq!(feature_name(21), "hour_of_day");
+        assert_eq!(feature_name(25), "is_holiday");
+        assert_eq!(feature_name(26), "score_hourly");
+        assert_eq!(feature_name(28), "score_weekly");
+        assert_eq!(feature_name(29), "label_daily");
+    }
+}

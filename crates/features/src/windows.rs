@@ -1,0 +1,131 @@
+//! Window arithmetic for Eqs. 6–7.
+//!
+//! With current day `t`, horizon `h ≥ 1`, and window `w ≥ 1`:
+//!
+//! * a **forecast** input reads days `[t − w, t)` of `X` and predicts
+//!   the label at `t + h`;
+//! * a **training** input is the `h`-delayed slice — days
+//!   `[t − h − w, t − h)` — paired with the *known* label at `t`.
+//!
+//! Day-resolution indices translate to hours by ×24 (the paper's
+//! note: "the slice `t − w : t` (in days) implies `t − 24w : t` in
+//! hours").
+
+use hotspot_core::HOURS_PER_DAY;
+
+/// A `(t, h, w)` combination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WindowSpec {
+    /// Current day `t` (0-based day index).
+    pub t: usize,
+    /// Prediction horizon in days, `h ≥ 1`.
+    pub h: usize,
+    /// Past-window length in days, `w ≥ 1`.
+    pub w: usize,
+}
+
+impl WindowSpec {
+    /// Create a validated spec.
+    ///
+    /// # Panics
+    /// Panics when `h == 0` or `w == 0`.
+    pub fn new(t: usize, h: usize, w: usize) -> Self {
+        assert!(h >= 1, "horizon must be >= 1 day");
+        assert!(w >= 1, "window must be >= 1 day");
+        WindowSpec { t, h, w }
+    }
+
+    /// Day the forecast targets: `t + h`.
+    pub fn target_day(&self) -> usize {
+        self.t + self.h
+    }
+
+    /// Whether the spec is usable on a series with `n_days` days:
+    /// needs the training slice to start at day ≥ 0 and the target
+    /// day to exist.
+    pub fn fits(&self, n_days: usize) -> bool {
+        self.t >= self.h + self.w && self.target_day() < n_days
+    }
+}
+
+/// Day range `[start, end)` of the *forecast* input slice.
+///
+/// Returns `None` when the window would start before day 0.
+pub fn forecast_window_days(spec: &WindowSpec) -> Option<(usize, usize)> {
+    if spec.t < spec.w {
+        None
+    } else {
+        Some((spec.t - spec.w, spec.t))
+    }
+}
+
+/// Day range `[start, end)` of the *training* input slice (the
+/// `h`-delayed window whose label, at day `t`, is already known).
+///
+/// Returns `None` when it would start before day 0.
+pub fn train_window_days(spec: &WindowSpec) -> Option<(usize, usize)> {
+    if spec.t < spec.h + spec.w {
+        None
+    } else {
+        Some((spec.t - spec.h - spec.w, spec.t - spec.h))
+    }
+}
+
+/// Convert a day range to the hour range `[24·start, 24·end)`.
+pub fn days_to_hours(range: (usize, usize)) -> (usize, usize) {
+    (range.0 * HOURS_PER_DAY, range.1 * HOURS_PER_DAY)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forecast_window_is_w_days_before_t() {
+        let spec = WindowSpec::new(52, 5, 7);
+        assert_eq!(forecast_window_days(&spec), Some((45, 52)));
+        assert_eq!(spec.target_day(), 57);
+    }
+
+    #[test]
+    fn train_window_is_h_delayed() {
+        let spec = WindowSpec::new(52, 5, 7);
+        assert_eq!(train_window_days(&spec), Some((40, 47)));
+        // Training slice ends exactly h days before the label day.
+        let (_, end) = train_window_days(&spec).unwrap();
+        assert_eq!(spec.t - end, spec.h);
+    }
+
+    #[test]
+    fn windows_reject_underflow() {
+        assert_eq!(forecast_window_days(&WindowSpec::new(3, 1, 7)), None);
+        assert_eq!(train_window_days(&WindowSpec::new(7, 2, 7)), None);
+        // Exactly at the boundary is fine.
+        assert_eq!(train_window_days(&WindowSpec::new(9, 2, 7)), Some((0, 7)));
+    }
+
+    #[test]
+    fn fits_requires_target_inside_series() {
+        let spec = WindowSpec::new(52, 5, 7);
+        assert!(spec.fits(58));
+        assert!(!spec.fits(57)); // target day 57 needs index < n_days
+        assert!(!WindowSpec::new(8, 2, 7).fits(100)); // train slice underflows
+    }
+
+    #[test]
+    fn hour_conversion() {
+        assert_eq!(days_to_hours((2, 5)), (48, 120));
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon")]
+    fn zero_horizon_rejected() {
+        WindowSpec::new(10, 0, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_rejected() {
+        WindowSpec::new(10, 1, 0);
+    }
+}

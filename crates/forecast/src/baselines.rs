@@ -1,0 +1,157 @@
+//! The four baseline forecasters (Sec. IV-C).
+//!
+//! All baselines output one score per sector — not necessarily a
+//! probability, but usable for ranking (which is all the evaluation
+//! needs).
+
+use crate::context::ForecastContext;
+use hotspot_core::integrate::trailing_mean;
+use hotspot_features::windows::WindowSpec;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Random model `F⁰`: `Ŷᵢ = G(0, 1)`. Defines chance level.
+pub fn random_forecast(ctx: &ForecastContext, spec: &WindowSpec, seed: u64) -> Vec<f64> {
+    // Seed folds in (t, h) so different grid cells get independent
+    // draws while the whole sweep stays reproducible.
+    let mut rng =
+        StdRng::seed_from_u64(seed ^ (spec.t as u64) << 20 ^ (spec.h as u64) << 8);
+    (0..ctx.n_sectors()).map(|_| rng.random()).collect()
+}
+
+/// Persistence model: `Ŷᵢ = Yᵢ,ₜ` — repeat the current target value.
+pub fn persist_forecast(ctx: &ForecastContext, spec: &WindowSpec) -> Vec<f64> {
+    (0..ctx.n_sectors())
+        .map(|i| {
+            let v = ctx.target.get(i, spec.t);
+            if v.is_nan() {
+                0.0
+            } else {
+                v
+            }
+        })
+        .collect()
+}
+
+/// Average model: `Ŷᵢ = μ(t, w, Sᵢ)` — trailing mean of the daily
+/// score over the window.
+pub fn average_forecast(ctx: &ForecastContext, spec: &WindowSpec) -> Vec<f64> {
+    (0..ctx.n_sectors())
+        .map(|i| {
+            let row = ctx.s_daily.row(i);
+            let v = trailing_mean(row, spec.t.min(row.len() - 1), spec.w);
+            if v.is_nan() {
+                0.0
+            } else {
+                v
+            }
+        })
+        .collect()
+}
+
+/// Trend model: the Average plus a linear projection of the recent
+/// trend, `μ(t, w, S) + (μ(t, w/2, S) − μ(t − w/2, w/2, S)) / (w/2)`.
+/// For `w = 1` the half-window is empty, so it degrades to Average.
+pub fn trend_forecast(ctx: &ForecastContext, spec: &WindowSpec) -> Vec<f64> {
+    let half = spec.w / 2;
+    if half == 0 {
+        return average_forecast(ctx, spec);
+    }
+    (0..ctx.n_sectors())
+        .map(|i| {
+            let row = ctx.s_daily.row(i);
+            let t = spec.t.min(row.len() - 1);
+            let avg = trailing_mean(row, t, spec.w);
+            let recent = trailing_mean(row, t, half);
+            let older = if t >= half { trailing_mean(row, t - half, half) } else { recent };
+            let v = avg + (recent - older) / half as f64;
+            if v.is_nan() {
+                0.0
+            } else {
+                v
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Target;
+    use hotspot_core::pipeline::ScorePipeline;
+    use hotspot_core::tensor::Tensor3;
+    use hotspot_core::HOURS_PER_WEEK;
+
+    fn ctx() -> ForecastContext {
+        let catalog = hotspot_core::kpi::KpiCatalog::standard();
+        // Sector 0 degrades linearly over time; sector 1 is healthy;
+        // sector 2 is permanently hot.
+        let kpis = Tensor3::from_fn(3, HOURS_PER_WEEK * 4, 21, |i, j, k| {
+            let def = &catalog.defs()[k];
+            // Sector 0 degrades progressively, with indicators
+            // tripping at staggered times so the daily score keeps
+            // rising through the whole series.
+            let frac = match i {
+                0 => (j as f64 / (HOURS_PER_WEEK * 4) as f64) * (0.2 + 0.06 * k as f64),
+                1 => 0.0,
+                _ => 1.0,
+            };
+            def.nominal + (def.degraded - def.nominal) * frac
+        });
+        let scored = ScorePipeline::standard().run(&kpis).unwrap();
+        ForecastContext::build(&kpis, &scored, Target::BeHotSpot).unwrap()
+    }
+
+    #[test]
+    fn random_is_deterministic_per_cell_but_varies() {
+        let c = ctx();
+        let spec = WindowSpec::new(20, 3, 7);
+        let a = random_forecast(&c, &spec, 42);
+        let b = random_forecast(&c, &spec, 42);
+        assert_eq!(a, b);
+        let other = random_forecast(&c, &WindowSpec::new(21, 3, 7), 42);
+        assert_ne!(a, other);
+        assert!(a.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn persist_repeats_current_label() {
+        let c = ctx();
+        let spec = WindowSpec::new(20, 3, 7);
+        let p = persist_forecast(&c, &spec);
+        for i in 0..3 {
+            assert_eq!(p[i], c.target.get(i, 20));
+        }
+    }
+
+    #[test]
+    fn average_ranks_hot_sector_first() {
+        let c = ctx();
+        let spec = WindowSpec::new(20, 3, 7);
+        let a = average_forecast(&c, &spec);
+        assert!(a[2] > a[1], "always-hot above healthy");
+        assert!(a[0] > a[1], "degrading above healthy");
+        // Matches a manual trailing mean for sector 1.
+        let manual = trailing_mean(c.s_daily.row(1), 20, 7);
+        assert_eq!(a[1], manual);
+    }
+
+    #[test]
+    fn trend_boosts_rising_sector() {
+        let c = ctx();
+        let spec = WindowSpec::new(24, 3, 8);
+        let avg = average_forecast(&c, &spec);
+        let trend = trend_forecast(&c, &spec);
+        // Sector 0's score is rising, so Trend > Average for it.
+        assert!(trend[0] > avg[0], "trend {} vs avg {}", trend[0], avg[0]);
+        // Flat sectors are unchanged (up to noise-free equality).
+        assert!((trend[1] - avg[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trend_with_w1_equals_average() {
+        let c = ctx();
+        let spec = WindowSpec::new(20, 3, 1);
+        assert_eq!(trend_forecast(&c, &spec), average_forecast(&c, &spec));
+    }
+}

@@ -1,0 +1,126 @@
+//! The forecasting context: everything a model may read.
+
+use hotspot_core::matrix::Matrix;
+use hotspot_core::pipeline::ScoredNetwork;
+use hotspot_core::tensor::Tensor3;
+use hotspot_features::tensor_x::build_tensor_x;
+
+/// Which label the forecast targets (Sec. IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// `Yᵈ`: "is the sector a hot spot on day t + h".
+    BeHotSpot,
+    /// The emerging-persistent-hot-spot label.
+    BecomeHotSpot,
+}
+
+impl Target {
+    /// Stable label for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Target::BeHotSpot => "be",
+            Target::BecomeHotSpot => "become",
+        }
+    }
+}
+
+/// Everything the models read: the input tensor `X`, the daily scores
+/// `Sᵈ` (for the Average/Trend baselines), and the target labels.
+#[derive(Debug, Clone)]
+pub struct ForecastContext {
+    /// Combined input tensor `X` (Eq. 5).
+    pub x: Tensor3,
+    /// Daily score matrix `Sᵈ`.
+    pub s_daily: Matrix,
+    /// The label matrix being forecast (daily resolution).
+    pub target: Matrix,
+    /// Which target this context carries.
+    pub which: Target,
+}
+
+impl ForecastContext {
+    /// Assemble a context from an (imputed) KPI tensor and the scored
+    /// pipeline products.
+    ///
+    /// # Errors
+    /// Propagates dimension mismatches from tensor-X assembly.
+    pub fn build(
+        kpis: &Tensor3,
+        scored: &ScoredNetwork,
+        which: Target,
+    ) -> hotspot_core::error::Result<Self> {
+        let x = build_tensor_x(kpis, scored)?;
+        let target = match which {
+            Target::BeHotSpot => scored.y_daily.clone(),
+            Target::BecomeHotSpot => scored.y_become.clone(),
+        };
+        Ok(ForecastContext { x, s_daily: scored.s_daily.clone(), target, which })
+    }
+
+    /// Number of sectors.
+    pub fn n_sectors(&self) -> usize {
+        self.x.n_sectors()
+    }
+
+    /// Number of days covered by every signal.
+    pub fn n_days(&self) -> usize {
+        self.s_daily.cols().min(self.target.cols()).min(self.x.n_time() / 24)
+    }
+
+    /// The true labels of the target day as booleans (`None` entries —
+    /// `NaN` labels — are mapped to `false` and excluded upstream by
+    /// the evaluator's finite mask).
+    pub fn labels_at(&self, day: usize) -> Vec<bool> {
+        (0..self.n_sectors()).map(|i| self.target.get(i, day) >= 0.5).collect()
+    }
+
+    /// Count of positive labels at a day.
+    pub fn positives_at(&self, day: usize) -> usize {
+        self.labels_at(day).iter().filter(|&&b| b).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotspot_core::pipeline::ScorePipeline;
+    use hotspot_core::HOURS_PER_WEEK;
+
+    fn fixture(which: Target) -> ForecastContext {
+        let catalog = hotspot_core::kpi::KpiCatalog::standard();
+        // Sector 0 degrades permanently from week 2 on; sector 1 is healthy.
+        let kpis = Tensor3::from_fn(2, HOURS_PER_WEEK * 4, 21, |i, j, k| {
+            let def = &catalog.defs()[k];
+            if i == 0 && j >= HOURS_PER_WEEK * 2 {
+                def.degraded
+            } else {
+                def.nominal
+            }
+        });
+        let scored = ScorePipeline::standard().run(&kpis).unwrap();
+        ForecastContext::build(&kpis, &scored, which).unwrap()
+    }
+
+    #[test]
+    fn be_target_uses_daily_labels() {
+        let ctx = fixture(Target::BeHotSpot);
+        assert_eq!(ctx.which.name(), "be");
+        assert_eq!(ctx.n_sectors(), 2);
+        assert_eq!(ctx.n_days(), 28);
+        // Sector 0 hot in the second half.
+        assert!(ctx.labels_at(20)[0]);
+        assert!(!ctx.labels_at(20)[1]);
+        assert_eq!(ctx.positives_at(20), 1);
+        assert_eq!(ctx.positives_at(3), 0);
+    }
+
+    #[test]
+    fn become_target_flags_the_transition() {
+        let ctx = fixture(Target::BecomeHotSpot);
+        // Exactly one sector transitions, somewhere near day 13/14.
+        let total: usize = (0..ctx.n_days()).map(|d| ctx.positives_at(d)).sum();
+        assert_eq!(total, 1, "expected exactly one emergence");
+        let day = (0..ctx.n_days()).find(|&d| ctx.positives_at(d) > 0).unwrap();
+        assert!((12..=14).contains(&day), "transition at day {day}");
+    }
+}

@@ -1,0 +1,22 @@
+//! # hotspot-forecast
+//!
+//! The forecasting methodology of Sec. IV: four baselines (Random,
+//! Persist, Average, Trend), four tree-based models (Tree, RF-R,
+//! RF-F1, RF-F2) plus a GBDT extension, the two forecast targets
+//! ("be a hot spot", "become a hot spot"), per-day ranking evaluation
+//! (average precision → lift over random), and a parallel sweep
+//! runner over the `(model, t, h, w)` grid of Table III.
+
+pub mod baselines;
+pub mod classifier;
+pub mod context;
+pub mod evaluate;
+pub mod models;
+pub mod sweep;
+
+pub use baselines::{average_forecast, persist_forecast, random_forecast, trend_forecast};
+pub use classifier::{ClassifierConfig, ClassifierKind, FittedClassifier};
+pub use context::{ForecastContext, Target};
+pub use evaluate::{evaluate_day, EvalRecord};
+pub use models::ModelSpec;
+pub use sweep::{SweepConfig, SweepResult, TableIIIGrid};

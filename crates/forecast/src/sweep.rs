@@ -1,0 +1,326 @@
+//! The `(model, t, h, w)` grid sweep of Table III, run in parallel
+//! across grid cells.
+
+use crate::classifier::fit_and_forecast;
+use crate::context::ForecastContext;
+use crate::evaluate::{evaluate_day, EvalRecord};
+use crate::models::ModelSpec;
+use hotspot_features::windows::WindowSpec;
+use parking_lot::Mutex;
+
+/// The paper's Table III grid values.
+pub struct TableIIIGrid;
+
+impl TableIIIGrid {
+    /// `t ∈ {52, …, 87}`.
+    pub fn ts() -> Vec<usize> {
+        (52..=87).collect()
+    }
+
+    /// `h ∈ {1, 2, 3, 4, 5, 7, 8, 10, 12, 14, 16, 19, 22, 26, 29}`.
+    pub fn hs() -> Vec<usize> {
+        vec![1, 2, 3, 4, 5, 7, 8, 10, 12, 14, 16, 19, 22, 26, 29]
+    }
+
+    /// `w ∈ {1, 2, 3, 5, 7, 10, 14, 21}`.
+    pub fn ws() -> Vec<usize> {
+        vec![1, 2, 3, 5, 7, 10, 14, 21]
+    }
+}
+
+/// Sweep configuration.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Models to run.
+    pub models: Vec<ModelSpec>,
+    /// Evaluation days `t`.
+    pub ts: Vec<usize>,
+    /// Horizons `h`.
+    pub hs: Vec<usize>,
+    /// Windows `w`.
+    pub ws: Vec<usize>,
+    /// Forest size / boosting rounds for classifier models.
+    pub n_trees: usize,
+    /// Trailing label days stacked into each training set.
+    pub train_days: usize,
+    /// Random rankings averaged into the `ψ(F⁰)` reference.
+    pub random_repeats: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Worker threads (`None` = available parallelism).
+    pub n_threads: Option<usize>,
+}
+
+impl SweepConfig {
+    /// A reduced but shape-preserving default: the Table III h/w
+    /// grids with a thinned `t` axis and a compact forest.
+    pub fn reduced(models: Vec<ModelSpec>) -> Self {
+        SweepConfig {
+            models,
+            ts: (52..=87).step_by(6).collect(),
+            hs: TableIIIGrid::hs(),
+            ws: TableIIIGrid::ws(),
+            n_trees: 30,
+            train_days: 7,
+            random_repeats: 15,
+            seed: 0,
+            n_threads: None,
+        }
+    }
+}
+
+/// One evaluated grid cell.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Model.
+    pub model: ModelSpec,
+    /// Evaluation day.
+    pub t: usize,
+    /// Horizon.
+    pub h: usize,
+    /// Window.
+    pub w: usize,
+    /// Evaluation outcome; `None` when the window did not fit or the
+    /// target day had no positive labels.
+    pub record: Option<EvalRecord>,
+}
+
+/// All evaluated cells of a sweep, with query helpers.
+#[derive(Debug, Clone, Default)]
+pub struct SweepResult {
+    /// Evaluated cells (order unspecified).
+    pub cells: Vec<SweepCell>,
+}
+
+impl SweepResult {
+    /// Lift values over `t` for a `(model, h, w)` slice (finite only).
+    pub fn lifts(&self, model: ModelSpec, h: usize, w: usize) -> Vec<f64> {
+        self.cells
+            .iter()
+            .filter(|c| c.model == model && c.h == h && c.w == w)
+            .filter_map(|c| c.record.as_ref())
+            .map(|r| r.lift)
+            .filter(|l| l.is_finite())
+            .collect()
+    }
+
+    /// Average-precision values over `t` for a `(model, h, w)` slice,
+    /// restricted to `t` inside `t_range` — the KS-test inputs of
+    /// Sec. V-A.
+    pub fn aps_in_t_range(
+        &self,
+        model: ModelSpec,
+        h: usize,
+        w: usize,
+        t_range: (usize, usize),
+    ) -> Vec<f64> {
+        self.cells
+            .iter()
+            .filter(|c| {
+                c.model == model && c.h == h && c.w == w && c.t >= t_range.0 && c.t <= t_range.1
+            })
+            .filter_map(|c| c.record.as_ref())
+            .map(|r| r.ap)
+            .filter(|a| a.is_finite())
+            .collect()
+    }
+
+    /// Mean lift and 95% CI half-width for a `(model, h, w)` slice.
+    pub fn mean_lift(&self, model: ModelSpec, h: usize, w: usize) -> (f64, f64) {
+        hotspot_eval::stats::mean_ci95(&self.lifts(model, h, w))
+    }
+
+    /// Mean lift over `t` *and* `w` for a `(model, h)` slice — the
+    /// per-horizon averages of Figs. 9–12 marginalise over the grid.
+    pub fn mean_lift_over_h(&self, model: ModelSpec, h: usize) -> (f64, f64) {
+        let lifts: Vec<f64> = self
+            .cells
+            .iter()
+            .filter(|c| c.model == model && c.h == h)
+            .filter_map(|c| c.record.as_ref())
+            .map(|r| r.lift)
+            .filter(|l| l.is_finite())
+            .collect();
+        hotspot_eval::stats::mean_ci95(&lifts)
+    }
+
+    /// Number of cells that produced an evaluation.
+    pub fn n_evaluated(&self) -> usize {
+        self.cells.iter().filter(|c| c.record.is_some()).count()
+    }
+}
+
+/// Run the sweep. Cells are independent, so they are distributed
+/// across worker threads; results land in one vector (order
+/// unspecified — the query helpers filter, they never index).
+pub fn run_sweep(ctx: &ForecastContext, config: &SweepConfig) -> SweepResult {
+    let mut combos: Vec<(ModelSpec, usize, usize, usize)> = Vec::new();
+    for &m in &config.models {
+        for &t in &config.ts {
+            for &h in &config.hs {
+                for &w in &config.ws {
+                    combos.push((m, t, h, w));
+                }
+            }
+        }
+    }
+    let threads = config
+        .n_threads
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+        .clamp(1, combos.len().max(1));
+    let results: Mutex<Vec<SweepCell>> = Mutex::new(Vec::with_capacity(combos.len()));
+    let next: Mutex<usize> = Mutex::new(0);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let idx = {
+                    let mut n = next.lock();
+                    let idx = *n;
+                    *n += 1;
+                    idx
+                };
+                if idx >= combos.len() {
+                    break;
+                }
+                let (model, t, h, w) = combos[idx];
+                let cell = run_cell(ctx, config, model, t, h, w);
+                results.lock().push(cell);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    SweepResult { cells: results.into_inner() }
+}
+
+fn run_cell(
+    ctx: &ForecastContext,
+    config: &SweepConfig,
+    model: ModelSpec,
+    t: usize,
+    h: usize,
+    w: usize,
+) -> SweepCell {
+    let spec = WindowSpec::new(t, h, w);
+    if !spec.fits(ctx.n_days()) {
+        return SweepCell { model, t, h, w, record: None };
+    }
+    let predictions = if model.is_classifier() {
+        let mut cc = model
+            .classifier_config(config.n_trees, config.train_days, config.seed)
+            .expect("classifier");
+        cc.forest_threads = Some(1); // the sweep already parallelises
+        fit_and_forecast(ctx, &spec, &cc).map(|f| f.predictions)
+    } else {
+        model.forecast(ctx, &spec, config.n_trees, config.train_days, config.seed)
+    };
+    let record = predictions
+        .and_then(|p| evaluate_day(ctx, &spec, &p, config.random_repeats, config.seed));
+    SweepCell { model, t, h, w, record }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Target;
+    use hotspot_core::pipeline::ScorePipeline;
+    use hotspot_core::tensor::Tensor3;
+    use hotspot_core::HOURS_PER_WEEK;
+
+    fn ctx() -> ForecastContext {
+        let catalog = hotspot_core::kpi::KpiCatalog::standard();
+        // 10 sectors: 3 with strong weekday-daytime overload, 7 healthy.
+        let kpis = Tensor3::from_fn(10, HOURS_PER_WEEK * 6, 21, |i, j, k| {
+            let def = &catalog.defs()[k];
+            let dow = (j / 24) % 7;
+            if i < 3 && (6..22).contains(&(j % 24)) && dow < 5 {
+                def.degraded
+            } else {
+                def.nominal
+            }
+        });
+        let scored = ScorePipeline::standard().run(&kpis).unwrap();
+        ForecastContext::build(&kpis, &scored, Target::BeHotSpot).unwrap()
+    }
+
+    fn small_sweep(models: Vec<ModelSpec>) -> SweepConfig {
+        SweepConfig {
+            models,
+            ts: vec![20, 24, 28],
+            hs: vec![1, 3],
+            ws: vec![3, 7],
+            n_trees: 8,
+            train_days: 4,
+            random_repeats: 10,
+            seed: 3,
+            n_threads: Some(2),
+        }
+    }
+
+    #[test]
+    fn table_iii_grid_matches_paper() {
+        assert_eq!(TableIIIGrid::ts().len(), 36);
+        assert_eq!(TableIIIGrid::hs().len(), 15);
+        assert_eq!(TableIIIGrid::ws().len(), 8);
+        assert_eq!(TableIIIGrid::hs()[14], 29);
+        assert_eq!(TableIIIGrid::ws()[7], 21);
+    }
+
+    #[test]
+    fn sweep_covers_grid_and_informed_models_beat_random() {
+        let c = ctx();
+        let result = run_sweep(&c, &small_sweep(vec![ModelSpec::Random, ModelSpec::Average]));
+        assert_eq!(result.cells.len(), 2 * 3 * 2 * 2);
+        assert!(result.n_evaluated() > 0);
+        let (random_lift, _) = result.mean_lift(ModelSpec::Random, 1, 7);
+        let (average_lift, _) = result.mean_lift(ModelSpec::Average, 1, 7);
+        assert!(
+            average_lift > random_lift,
+            "Average {average_lift} vs Random {random_lift}"
+        );
+        assert!((random_lift - 1.0).abs() < 0.8, "random lift {random_lift}");
+    }
+
+    #[test]
+    fn classifier_cells_run_in_sweep() {
+        let c = ctx();
+        let result = run_sweep(&c, &small_sweep(vec![ModelSpec::RfF1]));
+        let lifts = result.lifts(ModelSpec::RfF1, 1, 7);
+        assert!(!lifts.is_empty());
+        let (mean, _) = result.mean_lift(ModelSpec::RfF1, 1, 7);
+        assert!(mean > 1.0, "RF-F1 lift {mean}");
+    }
+
+    #[test]
+    fn unfit_windows_yield_empty_records() {
+        let c = ctx();
+        let config = SweepConfig {
+            ts: vec![2], // too early for h + w
+            ..small_sweep(vec![ModelSpec::Average])
+        };
+        let result = run_sweep(&c, &config);
+        assert_eq!(result.n_evaluated(), 0);
+        assert!(result.lifts(ModelSpec::Average, 1, 7).is_empty());
+    }
+
+    #[test]
+    fn ap_slices_for_ks() {
+        let c = ctx();
+        let result = run_sweep(&c, &small_sweep(vec![ModelSpec::Average]));
+        let first = result.aps_in_t_range(ModelSpec::Average, 1, 7, (20, 24));
+        let second = result.aps_in_t_range(ModelSpec::Average, 1, 7, (25, 28));
+        assert!(!first.is_empty());
+        assert!(!second.is_empty());
+        assert_eq!(first.len() + second.len(), result.lifts(ModelSpec::Average, 1, 7).len());
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let c = ctx();
+        let cfg = small_sweep(vec![ModelSpec::Average, ModelSpec::RfF1]);
+        let a = run_sweep(&c, &cfg);
+        let b = run_sweep(&c, &cfg);
+        assert_eq!(a.mean_lift(ModelSpec::RfF1, 3, 7), b.mean_lift(ModelSpec::RfF1, 3, 7));
+    }
+}

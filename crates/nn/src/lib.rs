@@ -1,0 +1,28 @@
+//! # hotspot-nn
+//!
+//! A from-scratch dense neural network used for missing-value
+//! imputation (Sec. II-C of the paper): a stacked denoising
+//! autoencoder with a four-layer halving encoder, symmetric decoder,
+//! parametric ReLU activations, RMSprop optimisation, and the paper's
+//! corruption protocol (forward-fill substitution of missing values
+//! plus additional corruption of up to half the slice).
+//!
+//! Also provides the simple imputers (forward fill, per-KPI mean) the
+//! ablation experiments compare against.
+//!
+//! The network core ([`linalg`], [`layers`], [`optim`]) is a small,
+//! generic MLP toolkit; [`autoencoder`] composes it; [`imputer`]
+//! adapts it to the KPI tensor (per-KPI z-normalisation, week
+//! slicing, replacing only the originally missing cells).
+
+pub mod autoencoder;
+pub mod imputer;
+pub mod layers;
+pub mod linalg;
+pub mod optim;
+
+pub use autoencoder::{Autoencoder, AutoencoderConfig};
+pub use imputer::{AutoencoderImputer, ForwardFillImputer, Imputer, ImputerConfig, MeanImputer};
+pub use layers::{Dense, PRelu};
+pub use linalg::Mat;
+pub use optim::RmsProp;

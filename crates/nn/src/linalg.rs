@@ -1,0 +1,236 @@
+//! Minimal dense-matrix kernels for the MLP: just what backprop needs
+//! (matmul in three transposition variants, elementwise combinators),
+//! with a cache-friendly i-k-j loop order.
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Wrap a row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer/shape mismatch");
+        Mat { rows, cols, data }
+    }
+
+    /// Build from a closure.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Mat { rows, cols, data }
+    }
+
+    /// Rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// One row as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// One row, mutably.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Raw buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Raw mutable buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// `self · other` → `(self.rows × other.cols)`.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Mat) -> Mat {
+        assert_eq!(self.cols, other.rows, "matmul inner dims");
+        let mut out = Mat::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = other.row(k);
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(orow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` → `(self.cols × other.cols)` — used for weight
+    /// gradients without materialising the transpose.
+    pub fn t_matmul(&self, other: &Mat) -> Mat {
+        assert_eq!(self.rows, other.rows, "t_matmul outer dims");
+        let mut out = Mat::zeros(self.cols, other.cols);
+        for r in 0..self.rows {
+            let arow = self.row(r);
+            let brow = other.row(r);
+            for (i, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` → `(self.rows × other.rows)` — used to push
+    /// deltas back through a layer.
+    pub fn matmul_t(&self, other: &Mat) -> Mat {
+        assert_eq!(self.cols, other.cols, "matmul_t inner dims");
+        let mut out = Mat::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            for j in 0..other.rows {
+                let brow = other.row(j);
+                let mut s = 0.0;
+                for (a, b) in arow.iter().zip(brow) {
+                    s += a * b;
+                }
+                out.set(i, j, s);
+            }
+        }
+        out
+    }
+
+    /// Elementwise in-place map.
+    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Elementwise `self - other`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn sub(&self, other: &Mat) -> Mat {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "sub shapes");
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
+        Mat { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Frobenius-style sum of squares.
+    pub fn sum_squares(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a() -> Mat {
+        Mat::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+    }
+
+    fn b() -> Mat {
+        Mat::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0])
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let c = a().matmul(&b());
+        assert_eq!(c.rows(), 2);
+        assert_eq!(c.cols(), 2);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn t_matmul_equals_transpose_then_matmul() {
+        // aᵀ (3×2) · b-like (2×2).
+        let x = Mat::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let direct = a().t_matmul(&x); // (3×2)
+        let transposed = Mat::from_fn(3, 2, |r, c| a().get(c, r)).matmul(&x);
+        assert_eq!(direct, transposed);
+    }
+
+    #[test]
+    fn matmul_t_equals_matmul_with_transpose() {
+        let x = Mat::from_vec(4, 3, vec![1.0; 12]);
+        let direct = a().matmul_t(&x); // (2×4)
+        let transposed = a().matmul(&Mat::from_fn(3, 4, |r, c| x.get(c, r)));
+        assert_eq!(direct, transposed);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul inner dims")]
+    fn matmul_rejects_mismatch() {
+        a().matmul(&a());
+    }
+
+    #[test]
+    fn elementwise_helpers() {
+        let mut m = a();
+        m.map_inplace(|v| v * 2.0);
+        assert_eq!(m.get(1, 2), 12.0);
+        let d = m.sub(&a());
+        assert_eq!(d.get(1, 2), 6.0);
+        assert_eq!(Mat::from_vec(1, 2, vec![3.0, 4.0]).sum_squares(), 25.0);
+    }
+
+    #[test]
+    fn row_accessors() {
+        let m = a();
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        let mut m = a();
+        m.row_mut(0)[0] = 9.0;
+        assert_eq!(m.get(0, 0), 9.0);
+    }
+}

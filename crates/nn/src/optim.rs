@@ -1,0 +1,97 @@
+//! RMSprop, the optimiser the paper trains its autoencoder with
+//! (learning rate 1e-4, smoothing 0.99).
+
+/// RMSprop state for one flat parameter vector.
+///
+/// Update: `v ← ρ·v + (1−ρ)·g²`, `θ ← θ − lr·g/(√v + ε)`.
+#[derive(Debug, Clone)]
+pub struct RmsProp {
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Smoothing factor ρ.
+    pub rho: f64,
+    /// Numerical floor.
+    pub epsilon: f64,
+    mean_square: Vec<f64>,
+}
+
+impl RmsProp {
+    /// Create an optimiser for `n_params` parameters, with the paper's
+    /// hyper-parameters as defaults via [`RmsProp::paper`].
+    pub fn new(n_params: usize, learning_rate: f64, rho: f64) -> Self {
+        RmsProp { learning_rate, rho, epsilon: 1e-8, mean_square: vec![0.0; n_params] }
+    }
+
+    /// The paper's setting: lr = 1e-4, ρ = 0.99.
+    pub fn paper(n_params: usize) -> Self {
+        Self::new(n_params, 1e-4, 0.99)
+    }
+
+    /// Apply one update step in place.
+    ///
+    /// # Panics
+    /// Panics if slice lengths differ from the state size.
+    pub fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), self.mean_square.len(), "param count");
+        assert_eq!(grads.len(), self.mean_square.len(), "grad count");
+        for ((p, &g), v) in params.iter_mut().zip(grads).zip(&mut self.mean_square) {
+            *v = self.rho * *v + (1.0 - self.rho) * g * g;
+            *p -= self.learning_rate * g / (v.sqrt() + self.epsilon);
+        }
+    }
+
+    /// Number of tracked parameters.
+    pub fn len(&self) -> usize {
+        self.mean_square.len()
+    }
+
+    /// Whether the state is empty.
+    pub fn is_empty(&self) -> bool {
+        self.mean_square.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descends_a_quadratic() {
+        // Minimise f(x) = (x - 3)², gradient 2(x - 3).
+        let mut opt = RmsProp::new(1, 0.05, 0.9);
+        let mut x = [0.0];
+        for _ in 0..2000 {
+            let g = [2.0 * (x[0] - 3.0)];
+            opt.step(&mut x, &g);
+        }
+        assert!((x[0] - 3.0).abs() < 0.05, "x = {}", x[0]);
+    }
+
+    #[test]
+    fn first_step_magnitude_is_bounded_by_lr_scale() {
+        // With v starting at 0, the first step is ≈ lr·g/(√((1−ρ)g²)).
+        let mut opt = RmsProp::new(1, 1e-2, 0.99);
+        let mut x = [1.0];
+        opt.step(&mut x, &[100.0]);
+        let step = (1.0 - x[0]).abs();
+        assert!(step < 0.2, "step {step}");
+        assert!(step > 0.0);
+    }
+
+    #[test]
+    fn paper_defaults() {
+        let opt = RmsProp::paper(3);
+        assert_eq!(opt.learning_rate, 1e-4);
+        assert_eq!(opt.rho, 0.99);
+        assert_eq!(opt.len(), 3);
+        assert!(!opt.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "param count")]
+    fn rejects_wrong_sizes() {
+        let mut opt = RmsProp::paper(2);
+        let mut x = [0.0];
+        opt.step(&mut x, &[1.0]);
+    }
+}

@@ -1,0 +1,215 @@
+//! Land-use archetypes and their load profiles.
+//!
+//! The paper observes (Sec. III) that "areas with similar usage do not
+//! necessarily need to be spatially closer" — far-apart sectors can
+//! show near-identical hot-spot sequences because they serve the same
+//! kind of land use. Archetypes are the simulator's realisation of
+//! that mechanism: every sector is assigned one, and its latent load
+//! is the archetype's diurnal profile modulated by per-day weights.
+
+use crate::rng::clamp;
+
+/// Day-of-week index convention: 0 = Monday … 6 = Sunday.
+pub const N_DAYS: usize = 7;
+
+/// Land-use archetype of a sector's coverage area.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Archetype {
+    /// Homes: evening peak every day, mild weekday/weekend contrast.
+    Residential,
+    /// Business district: 9–18h weekday load, quiet weekends.
+    Office,
+    /// Shopping areas: daytime load, strong Friday/Saturday peak.
+    Commercial,
+    /// Bars and clubs: late-night Friday/Saturday load.
+    Nightlife,
+    /// Stations and highways: sharp commute peaks on workdays.
+    Transport,
+    /// Factories: steady Mon–Sat working-hours load.
+    Industrial,
+    /// Countryside: low, flat load.
+    Rural,
+}
+
+impl Archetype {
+    /// All archetypes, in a stable order.
+    pub const ALL: [Archetype; 7] = [
+        Archetype::Residential,
+        Archetype::Office,
+        Archetype::Commercial,
+        Archetype::Nightlife,
+        Archetype::Transport,
+        Archetype::Industrial,
+        Archetype::Rural,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Archetype::Residential => "residential",
+            Archetype::Office => "office",
+            Archetype::Commercial => "commercial",
+            Archetype::Nightlife => "nightlife",
+            Archetype::Transport => "transport",
+            Archetype::Industrial => "industrial",
+            Archetype::Rural => "rural",
+        }
+    }
+
+    /// Mixing proportions used when assigning archetypes to sectors in
+    /// an urban cluster (rural areas invert this).
+    pub fn urban_weight(self) -> f64 {
+        match self {
+            Archetype::Residential => 0.34,
+            Archetype::Office => 0.22,
+            Archetype::Commercial => 0.16,
+            Archetype::Nightlife => 0.08,
+            Archetype::Transport => 0.10,
+            Archetype::Industrial => 0.08,
+            Archetype::Rural => 0.02,
+        }
+    }
+
+    /// Normalised 24-hour load profile (mean ≈ 1 over active hours is
+    /// *not* enforced; the values are relative intensities in [0, 1.6]).
+    pub fn diurnal_profile(self) -> [f64; 24] {
+        match self {
+            Archetype::Residential => [
+                0.25, 0.18, 0.14, 0.12, 0.12, 0.16, 0.30, 0.55, 0.65, 0.60, 0.58, 0.62, //
+                0.70, 0.66, 0.62, 0.64, 0.72, 0.88, 1.05, 1.25, 1.40, 1.35, 1.00, 0.55,
+            ],
+            Archetype::Office => [
+                0.08, 0.06, 0.05, 0.05, 0.06, 0.10, 0.30, 0.70, 1.10, 1.30, 1.35, 1.30, //
+                1.20, 1.30, 1.35, 1.30, 1.20, 1.00, 0.60, 0.35, 0.22, 0.16, 0.12, 0.10,
+            ],
+            Archetype::Commercial => [
+                0.10, 0.07, 0.06, 0.05, 0.06, 0.08, 0.18, 0.40, 0.70, 0.95, 1.15, 1.30, //
+                1.35, 1.30, 1.25, 1.30, 1.40, 1.50, 1.45, 1.20, 0.85, 0.50, 0.30, 0.16,
+            ],
+            Archetype::Nightlife => [
+                1.30, 1.45, 1.35, 1.00, 0.55, 0.25, 0.12, 0.10, 0.10, 0.12, 0.15, 0.22, //
+                0.30, 0.32, 0.30, 0.30, 0.35, 0.42, 0.55, 0.70, 0.85, 1.00, 1.10, 1.20,
+            ],
+            Archetype::Transport => [
+                0.10, 0.07, 0.06, 0.06, 0.10, 0.30, 0.80, 1.45, 1.50, 0.95, 0.70, 0.70, //
+                0.75, 0.72, 0.70, 0.75, 0.90, 1.30, 1.50, 1.15, 0.70, 0.45, 0.28, 0.15,
+            ],
+            Archetype::Industrial => [
+                0.15, 0.12, 0.12, 0.14, 0.25, 0.50, 0.90, 1.10, 1.15, 1.10, 1.08, 1.05, //
+                1.00, 1.05, 1.08, 1.05, 0.95, 0.75, 0.50, 0.35, 0.28, 0.22, 0.18, 0.16,
+            ],
+            Archetype::Rural => [
+                0.10, 0.08, 0.07, 0.07, 0.08, 0.12, 0.22, 0.35, 0.42, 0.45, 0.46, 0.48, //
+                0.50, 0.48, 0.46, 0.46, 0.48, 0.52, 0.55, 0.55, 0.50, 0.38, 0.25, 0.15,
+            ],
+        }
+    }
+
+    /// Per-day multiplicative weights (Mon … Sun).
+    pub fn day_weights(self) -> [f64; N_DAYS] {
+        match self {
+            Archetype::Residential => [0.95, 0.95, 0.96, 0.98, 1.02, 1.08, 1.06],
+            Archetype::Office => [1.05, 1.06, 1.06, 1.05, 1.00, 0.30, 0.22],
+            Archetype::Commercial => [0.85, 0.85, 0.88, 0.92, 1.15, 1.35, 0.55],
+            Archetype::Nightlife => [0.45, 0.45, 0.55, 0.75, 1.30, 1.45, 0.70],
+            Archetype::Transport => [1.10, 1.10, 1.10, 1.08, 1.05, 0.55, 0.45],
+            Archetype::Industrial => [1.05, 1.06, 1.05, 1.05, 1.02, 0.85, 0.25],
+            Archetype::Rural => [0.95, 0.95, 0.95, 0.95, 1.00, 1.10, 1.05],
+        }
+    }
+
+    /// Holiday behaviour: how a public holiday rescales this
+    /// archetype's load (holidays behave like an amplified Sunday for
+    /// work land uses, like a busy day for leisure ones).
+    pub fn holiday_factor(self) -> f64 {
+        match self {
+            Archetype::Residential => 1.10,
+            Archetype::Office => 0.18,
+            Archetype::Commercial => 0.70,
+            Archetype::Nightlife => 1.25,
+            Archetype::Transport => 0.50,
+            Archetype::Industrial => 0.20,
+            Archetype::Rural => 1.10,
+        }
+    }
+
+    /// Relative intensity at (hour-of-day, day-of-week), the product of
+    /// the diurnal profile and the day weight, clamped to be
+    /// non-negative.
+    pub fn intensity(self, hour_of_day: usize, day_of_week: usize) -> f64 {
+        debug_assert!(hour_of_day < 24 && day_of_week < N_DAYS);
+        clamp(
+            self.diurnal_profile()[hour_of_day] * self.day_weights()[day_of_week],
+            0.0,
+            f64::INFINITY,
+        )
+    }
+
+    /// Probability that a flash-crowd event (Fig. 1B's "popular
+    /// shopping day") strikes this archetype, relative to commercial.
+    pub fn flash_crowd_affinity(self) -> f64 {
+        match self {
+            Archetype::Commercial => 1.0,
+            Archetype::Nightlife => 0.7,
+            Archetype::Transport => 0.5,
+            Archetype::Residential => 0.15,
+            Archetype::Office => 0.1,
+            Archetype::Industrial => 0.05,
+            Archetype::Rural => 0.05,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_nonnegative_and_bounded() {
+        for a in Archetype::ALL {
+            for v in a.diurnal_profile() {
+                assert!((0.0..=2.0).contains(&v), "{}: {v}", a.name());
+            }
+            for w in a.day_weights() {
+                assert!((0.0..=2.0).contains(&w), "{}: {w}", a.name());
+            }
+        }
+    }
+
+    #[test]
+    fn office_is_a_workday_archetype() {
+        let a = Archetype::Office;
+        // Weekday noon beats weekend noon by a wide margin.
+        assert!(a.intensity(12, 1) > 3.0 * a.intensity(12, 6));
+        // Noon beats 3am.
+        assert!(a.intensity(12, 1) > 5.0 * a.intensity(3, 1));
+    }
+
+    #[test]
+    fn nightlife_peaks_at_night_on_weekends() {
+        let a = Archetype::Nightlife;
+        assert!(a.intensity(1, 5) > a.intensity(13, 5)); // Sat 1am > Sat 1pm
+        assert!(a.intensity(1, 5) > a.intensity(1, 1)); // Sat 1am > Tue 1am
+    }
+
+    #[test]
+    fn commercial_saturday_is_the_peak_day() {
+        let w = Archetype::Commercial.day_weights();
+        let max = w.iter().cloned().fold(f64::MIN, f64::max);
+        assert_eq!(w[5], max); // Saturday
+    }
+
+    #[test]
+    fn urban_weights_sum_to_one() {
+        let total: f64 = Archetype::ALL.iter().map(|a| a.urban_weight()).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transport_has_commute_double_peak() {
+        let p = Archetype::Transport.diurnal_profile();
+        assert!(p[7] > p[11]); // morning rush over midday
+        assert!(p[18] > p[11]); // evening rush over midday
+        assert!(p[7] > p[3] * 5.0);
+    }
+}

@@ -1,0 +1,316 @@
+//! Network geography: clustered cities, towers, and 3-sector sites.
+//!
+//! Coordinates are planar kilometres over a country-sized square.
+//! Towers cluster into cities (log-normal radii), each tower hosts
+//! (usually) three sectors at 120° azimuths, and each sector is
+//! assigned a land-use archetype — biased by how central its tower is
+//! within its city, so offices concentrate downtown and rural sectors
+//! sit outside clusters, but every archetype occurs everywhere with
+//! some probability (the mechanism behind Fig. 8C's far-apart twins).
+
+use crate::archetype::Archetype;
+use crate::rng::{clamp, gaussian, stage_rng};
+use rand::{Rng, RngExt};
+
+/// One sector: a tower position plus an antenna azimuth.
+#[derive(Debug, Clone)]
+pub struct SectorSite {
+    /// Index of the hosting tower.
+    pub tower: usize,
+    /// Index of the city cluster (`usize::MAX` for isolated rural towers).
+    pub city: usize,
+    /// Planar x in km.
+    pub x: f64,
+    /// Planar y in km.
+    pub y: f64,
+    /// Antenna azimuth in degrees (informational).
+    pub azimuth: f64,
+    /// Assigned land-use archetype.
+    pub archetype: Archetype,
+}
+
+impl SectorSite {
+    /// Euclidean distance to another sector in km (0 for same tower).
+    pub fn distance_km(&self, other: &SectorSite) -> f64 {
+        if self.tower == other.tower {
+            return 0.0;
+        }
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// Parameters of the geography generator.
+#[derive(Debug, Clone)]
+pub struct GeographyConfig {
+    /// Target number of sectors (the generator lands within one tower
+    /// of this).
+    pub n_sectors: usize,
+    /// Side of the square country, km.
+    pub country_km: f64,
+    /// Number of city clusters.
+    pub n_cities: usize,
+    /// Fraction of towers placed uniformly outside cities (rural).
+    pub rural_fraction: f64,
+    /// Typical city radius, km.
+    pub city_radius_km: f64,
+    /// Sectors per tower (3 in real 3G deployments).
+    pub sectors_per_tower: usize,
+}
+
+impl Default for GeographyConfig {
+    fn default() -> Self {
+        GeographyConfig {
+            n_sectors: 600,
+            country_km: 400.0,
+            n_cities: 8,
+            rural_fraction: 0.12,
+            city_radius_km: 6.0,
+            sectors_per_tower: 3,
+        }
+    }
+}
+
+/// The generated layout: towers and sectors.
+#[derive(Debug, Clone)]
+pub struct Geography {
+    sectors: Vec<SectorSite>,
+    n_towers: usize,
+    config: GeographyConfig,
+}
+
+impl Geography {
+    /// Generate a layout from the config and seed.
+    pub fn generate(config: &GeographyConfig, seed: u64) -> Self {
+        let mut rng = stage_rng(seed, crate::rng::tags::GEOGRAPHY);
+        Self::generate_impl(config, &mut rng)
+    }
+
+    fn generate_impl(config: &GeographyConfig, rng: &mut impl Rng) -> Self {
+        let spt = config.sectors_per_tower.max(1);
+        let n_towers = config.n_sectors.div_ceil(spt).max(1);
+        // City centres.
+        let cities: Vec<(f64, f64)> = (0..config.n_cities.max(1))
+            .map(|_| {
+                (
+                    rng.random::<f64>() * config.country_km,
+                    rng.random::<f64>() * config.country_km,
+                )
+            })
+            .collect();
+        // City sizes follow a Zipf-ish decay: the first city is the
+        // metropolis, later ones are towns.
+        let mut city_weight: Vec<f64> =
+            (0..cities.len()).map(|i| 1.0 / (1.0 + i as f64).powf(0.8)).collect();
+        let wsum: f64 = city_weight.iter().sum();
+        for w in &mut city_weight {
+            *w /= wsum;
+        }
+
+        let mut sectors = Vec::with_capacity(n_towers * spt);
+        for tower in 0..n_towers {
+            let rural = rng.random::<f64>() < config.rural_fraction;
+            let (x, y, city, centrality) = if rural {
+                (
+                    rng.random::<f64>() * config.country_km,
+                    rng.random::<f64>() * config.country_km,
+                    usize::MAX,
+                    0.0,
+                )
+            } else {
+                // Pick a city by weight, place the tower with a
+                // Gaussian falloff around the centre.
+                let mut u: f64 = rng.random();
+                let mut city = 0;
+                for (i, w) in city_weight.iter().enumerate() {
+                    if u < *w {
+                        city = i;
+                        break;
+                    }
+                    u -= w;
+                }
+                let r = config.city_radius_km;
+                let x = clamp(gaussian(rng, cities[city].0, r), 0.0, config.country_km);
+                let y = clamp(gaussian(rng, cities[city].1, r), 0.0, config.country_km);
+                let dx = x - cities[city].0;
+                let dy = y - cities[city].1;
+                let dist = (dx * dx + dy * dy).sqrt();
+                let centrality = clamp(1.0 - dist / (2.0 * r), 0.0, 1.0);
+                (x, y, city, centrality)
+            };
+            // Sectors on one tower serve the same area: they share a
+            // tower-level archetype most of the time (the mechanism
+            // behind Fig. 8A's distance-0 correlation spike), with an
+            // occasional dissenting sector (a different azimuth can
+            // face different land use).
+            let tower_archetype = Self::draw_archetype(rng, rural, centrality);
+            for s in 0..spt {
+                let archetype = if rng.random::<f64>() < 0.7 {
+                    tower_archetype
+                } else {
+                    Self::draw_archetype(rng, rural, centrality)
+                };
+                sectors.push(SectorSite {
+                    tower,
+                    city,
+                    x,
+                    y,
+                    azimuth: (360.0 / spt as f64) * s as f64,
+                    archetype,
+                });
+            }
+        }
+        sectors.truncate(config.n_sectors.max(1));
+        Geography { sectors, n_towers, config: config.clone() }
+    }
+
+    /// Draw an archetype. Rural towers are almost always rural;
+    /// downtown towers skew towards office/commercial/nightlife.
+    fn draw_archetype(rng: &mut impl Rng, rural: bool, centrality: f64) -> Archetype {
+        if rural && rng.random::<f64>() < 0.85 {
+            return Archetype::Rural;
+        }
+        // Urban mixture, tilted by centrality.
+        let mut weights: Vec<f64> = Archetype::ALL
+            .iter()
+            .map(|a| {
+                let base = a.urban_weight();
+                match a {
+                    Archetype::Office | Archetype::Commercial | Archetype::Nightlife => {
+                        base * (0.5 + 1.2 * centrality)
+                    }
+                    Archetype::Residential => base * (1.2 - 0.5 * centrality),
+                    _ => base,
+                }
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        for w in &mut weights {
+            *w /= total;
+        }
+        let mut u: f64 = rng.random();
+        for (i, w) in weights.iter().enumerate() {
+            if u < *w {
+                return Archetype::ALL[i];
+            }
+            u -= w;
+        }
+        Archetype::Residential
+    }
+
+    /// All sectors in index order.
+    pub fn sectors(&self) -> &[SectorSite] {
+        &self.sectors
+    }
+
+    /// Number of sectors.
+    pub fn n_sectors(&self) -> usize {
+        self.sectors.len()
+    }
+
+    /// Number of towers.
+    pub fn n_towers(&self) -> usize {
+        self.n_towers
+    }
+
+    /// The generating configuration.
+    pub fn config(&self) -> &GeographyConfig {
+        &self.config
+    }
+
+    /// Pairwise distance between two sectors by index, km.
+    pub fn distance(&self, i: usize, j: usize) -> f64 {
+        self.sectors[i].distance_km(&self.sectors[j])
+    }
+
+    /// Indices of the `k` spatially nearest sectors to `i` (excluding
+    /// `i` itself), nearest first. Same-tower sectors come first since
+    /// their distance is 0.
+    pub fn nearest(&self, i: usize, k: usize) -> Vec<usize> {
+        let mut others: Vec<(usize, f64)> = (0..self.sectors.len())
+            .filter(|&j| j != i)
+            .map(|j| (j, self.distance(i, j)))
+            .collect();
+        others.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        others.truncate(k);
+        others.into_iter().map(|(j, _)| j).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geo(n: usize, seed: u64) -> Geography {
+        Geography::generate(&GeographyConfig { n_sectors: n, ..Default::default() }, seed)
+    }
+
+    #[test]
+    fn generates_requested_sector_count() {
+        let g = geo(100, 1);
+        assert_eq!(g.n_sectors(), 100);
+        // ~3 sectors per tower.
+        assert!(g.n_towers() >= 33 && g.n_towers() <= 40, "{}", g.n_towers());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = geo(60, 9);
+        let b = geo(60, 9);
+        for (s, t) in a.sectors().iter().zip(b.sectors()) {
+            assert_eq!(s.x, t.x);
+            assert_eq!(s.archetype, t.archetype);
+        }
+    }
+
+    #[test]
+    fn same_tower_distance_is_zero() {
+        let g = geo(60, 2);
+        let s = g.sectors();
+        // Sectors 0,1,2 share tower 0.
+        assert_eq!(s[0].tower, s[1].tower);
+        assert_eq!(g.distance(0, 1), 0.0);
+        assert_eq!(g.distance(0, 2), 0.0);
+    }
+
+    #[test]
+    fn coordinates_inside_country() {
+        let g = geo(300, 3);
+        let side = g.config().country_km;
+        for s in g.sectors() {
+            assert!((0.0..=side).contains(&s.x));
+            assert!((0.0..=side).contains(&s.y));
+        }
+    }
+
+    #[test]
+    fn nearest_starts_with_same_tower() {
+        let g = geo(120, 4);
+        let near = g.nearest(0, 5);
+        assert_eq!(near.len(), 5);
+        // First two neighbours are the co-tower sectors (distance 0).
+        assert_eq!(g.distance(0, near[0]), 0.0);
+        assert_eq!(g.distance(0, near[1]), 0.0);
+        // And sorted by distance.
+        for w in near.windows(2) {
+            assert!(g.distance(0, w[0]) <= g.distance(0, w[1]));
+        }
+    }
+
+    #[test]
+    fn archetype_mix_is_plausible() {
+        let g = geo(900, 5);
+        let rural =
+            g.sectors().iter().filter(|s| s.archetype == Archetype::Rural).count() as f64 / 900.0;
+        assert!(rural > 0.02 && rural < 0.40, "rural fraction {rural}");
+        // All archetypes appear in a big-enough network.
+        for a in Archetype::ALL {
+            assert!(
+                g.sectors().iter().any(|s| s.archetype == a),
+                "archetype {} missing",
+                a.name()
+            );
+        }
+    }
+}

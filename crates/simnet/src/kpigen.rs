@@ -1,0 +1,199 @@
+//! KPI synthesis: mapping latent stresses into the 21 indicators.
+//!
+//! Each indicator responds to a class-specific mixture of the three
+//! latent stresses. The *effective stress* of indicator `k` at a
+//! sector-hour is
+//!
+//! ```text
+//! stress_k = clamp(wₗ·load + wᵢ·interference + w_f·failure + η, 0, 1)
+//! ```
+//!
+//! with `η` small Gaussian jitter, and the measured value interpolates
+//! the catalogue's nominal→degraded range:
+//!
+//! ```text
+//! value_k = nominal_k + (degraded_k − nominal_k) · stress_k  (+ noise)
+//! ```
+//!
+//! Because the same degradation direction drives both the value and
+//! the score threshold (`ScoreConfig` trips at a fixed fraction of the
+//! nominal→degraded span), high stress reliably trips indicators — the
+//! coupling that makes KPIs informative features (Sec. V-D).
+
+use crate::rng::{clamp, gaussian};
+use crate::traffic::LatentState;
+use hotspot_core::kpi::{KpiCatalog, KpiClass};
+use rand::rngs::StdRng;
+
+/// Per-class mixing weights `(load, interference, failure)`.
+fn class_mix(class: KpiClass) -> (f64, f64, f64) {
+    match class {
+        KpiClass::Accessibility => (0.50, 0.20, 0.45),
+        KpiClass::Retainability => (0.30, 0.30, 0.55),
+        KpiClass::Coverage => (0.20, 0.75, 0.15),
+        KpiClass::Mobility => (0.30, 0.30, 0.50),
+        KpiClass::AvailabilityCongestion => (0.85, 0.10, 0.25),
+    }
+}
+
+/// Generates measured KPI frames from latent states.
+#[derive(Debug, Clone)]
+pub struct KpiGenerator {
+    catalog: KpiCatalog,
+    /// Gaussian jitter applied to the effective stress.
+    pub stress_jitter: f64,
+    /// Relative measurement noise on the final value.
+    pub measurement_noise: f64,
+}
+
+impl KpiGenerator {
+    /// Build a generator over a catalogue with default noise levels.
+    pub fn new(catalog: KpiCatalog) -> Self {
+        KpiGenerator { catalog, stress_jitter: 0.05, measurement_noise: 0.02 }
+    }
+
+    /// Borrow the catalogue.
+    pub fn catalog(&self) -> &KpiCatalog {
+        &self.catalog
+    }
+
+    /// Effective stress of indicator `k` given a latent state (before
+    /// jitter).
+    pub fn effective_stress(&self, k: usize, state: &LatentState) -> f64 {
+        let def = self.catalog.defs().get(k).expect("indicator index");
+        let (wl, wi, wf) = class_mix(def.class);
+        clamp(
+            wl * state.load_stress + wi * state.interference_stress + wf * state.failure,
+            0.0,
+            1.0,
+        )
+    }
+
+    /// Fill `out` (length = number of indicators) with one measured
+    /// frame for the given latent state.
+    pub fn frame_into(&self, state: &LatentState, rng: &mut StdRng, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.catalog.len());
+        for (k, def) in self.catalog.defs().iter().enumerate() {
+            let stress = clamp(
+                self.effective_stress(k, state) + gaussian(rng, 0.0, self.stress_jitter),
+                0.0,
+                1.0,
+            );
+            let span = def.degraded - def.nominal;
+            let mut value = def.nominal + span * stress;
+            // Additive measurement noise proportional to the span so it
+            // is meaningful for every unit system (ratios, dB, dBm, …).
+            value += gaussian(rng, 0.0, self.measurement_noise * span.abs());
+            out[k] = value;
+        }
+    }
+
+    /// Convenience: one frame as a fresh vector.
+    pub fn frame(&self, state: &LatentState, rng: &mut StdRng) -> Vec<f64> {
+        let mut out = vec![0.0; self.catalog.len()];
+        self.frame_into(state, rng, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::stage_rng;
+    use hotspot_core::kpi::Polarity;
+    use hotspot_core::score::ScoreConfig;
+
+    fn quiet() -> LatentState {
+        LatentState { load: 0.1, load_stress: 0.05, interference_stress: 0.08, failure: 0.0 }
+    }
+
+    fn overloaded() -> LatentState {
+        LatentState { load: 2.0, load_stress: 1.0, interference_stress: 0.4, failure: 0.0 }
+    }
+
+    fn failed() -> LatentState {
+        LatentState { load: 0.5, load_stress: 0.3, interference_stress: 0.8, failure: 1.0 }
+    }
+
+    #[test]
+    fn quiet_state_scores_cold() {
+        let g = KpiGenerator::new(KpiCatalog::standard());
+        let mut rng = stage_rng(1, 0);
+        let cfg = ScoreConfig::standard();
+        // Average over many frames so jitter cannot flake the test.
+        let mean: f64 =
+            (0..200).map(|_| cfg.score_frame(&g.frame(&quiet(), &mut rng))).sum::<f64>() / 200.0;
+        assert!(mean < 0.15, "quiet mean score {mean}");
+    }
+
+    #[test]
+    fn overload_scores_hot() {
+        let g = KpiGenerator::new(KpiCatalog::standard());
+        let mut rng = stage_rng(1, 1);
+        let cfg = ScoreConfig::standard();
+        let mean: f64 = (0..200)
+            .map(|_| cfg.score_frame(&g.frame(&overloaded(), &mut rng)))
+            .sum::<f64>()
+            / 200.0;
+        assert!(mean > 0.6, "overload mean score {mean}");
+    }
+
+    #[test]
+    fn failure_scores_hot() {
+        let g = KpiGenerator::new(KpiCatalog::standard());
+        let mut rng = stage_rng(1, 2);
+        let cfg = ScoreConfig::standard();
+        let mean: f64 =
+            (0..200).map(|_| cfg.score_frame(&g.frame(&failed(), &mut rng))).sum::<f64>() / 200.0;
+        assert!(mean > 0.6, "failure mean score {mean}");
+    }
+
+    #[test]
+    fn values_move_towards_degraded_with_polarity() {
+        let g = KpiGenerator::new(KpiCatalog::standard());
+        let mut rng = stage_rng(1, 3);
+        let quiet_frame = g.frame(&quiet(), &mut rng);
+        let hot_frame = g.frame(&overloaded(), &mut rng);
+        // Congestion-class indicators must move in the degradation
+        // direction between quiet and overloaded.
+        for def in g.catalog().defs() {
+            if def.class == KpiClass::AvailabilityCongestion {
+                match def.polarity {
+                    Polarity::HighIsBad => assert!(
+                        hot_frame[def.index] > quiet_frame[def.index],
+                        "{} did not rise",
+                        def.name
+                    ),
+                    Polarity::LowIsBad => assert!(
+                        hot_frame[def.index] < quiet_frame[def.index],
+                        "{} did not fall",
+                        def.name
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn effective_stress_is_bounded_and_class_sensible() {
+        let g = KpiGenerator::new(KpiCatalog::standard());
+        let s = overloaded();
+        for k in 0..g.catalog().len() {
+            let e = g.effective_stress(k, &s);
+            assert!((0.0..=1.0).contains(&e));
+        }
+        // Congestion indicators react to load more than coverage ones.
+        let congestion = g.effective_stress(8, &s); // data_utilization_rate
+        let coverage = g.effective_stress(12, &s); // noise_floor_dbm
+        assert!(congestion > coverage);
+    }
+
+    #[test]
+    fn frame_into_matches_frame_len() {
+        let g = KpiGenerator::new(KpiCatalog::standard());
+        let mut rng = stage_rng(1, 4);
+        let f = g.frame(&quiet(), &mut rng);
+        assert_eq!(f.len(), 21);
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+}

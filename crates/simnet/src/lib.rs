@@ -1,0 +1,46 @@
+//! # hotspot-simnet
+//!
+//! A synthetic cellular-network simulator standing in for the paper's
+//! proprietary operator dataset (tens of thousands of 3G sectors, 21
+//! hourly KPIs, 18 weeks, country-scale).
+//!
+//! The simulator reproduces — mechanism by mechanism — the structural
+//! properties the paper's analysis and forecasting results rest on:
+//!
+//! * **Diurnal / weekly regularity.** Each sector carries a land-use
+//!   [`archetype::Archetype`] with a 24-hour load profile and per-day
+//!   weights, so office sectors are busy Mon–Fri, commercial sectors
+//!   peak on shopping days, nightlife on weekend nights (Fig. 1, 6, 7,
+//!   Table II).
+//! * **Persistent vs. sporadic hot spots.** Chronic under-provisioning
+//!   yields sectors that are hot for the whole period (Fig. 6C), while
+//!   hardware failures injected by the [`events`] engine create
+//!   *emerging* persistent hot spots — the "become a hot spot" target.
+//! * **Spatial structure.** Sectors live on towers (three per site) in
+//!   clustered cities ([`geography`]); same-tower sectors share
+//!   failures and local crowds (high correlation at distance 0, Fig.
+//!   8A) while same-archetype sectors anywhere behave alike (Fig. 8C).
+//! * **KPI ↔ score coupling.** The 21 KPIs are deterministic response
+//!   functions of three latent stresses (load, interference, failure)
+//!   plus measurement noise ([`kpigen`]), so usage/congestion KPIs
+//!   really do carry predictive signal (Sec. V-D).
+//! * **Missingness.** Point, frame, and outage-window gaps are
+//!   injected ([`missing`]), including hopeless sectors that the
+//!   Sec. II-C filter must discard.
+
+pub mod archetype;
+pub mod events;
+pub mod geography;
+pub mod kpigen;
+pub mod missing;
+pub mod network;
+pub mod rng;
+pub mod traffic;
+
+pub use archetype::Archetype;
+pub use events::{Event, EventEngine, EventKind};
+pub use geography::{Geography, GeographyConfig, SectorSite};
+pub use kpigen::KpiGenerator;
+pub use missing::{MissingInjector, MissingnessConfig};
+pub use network::{NetworkConfig, SectorMeta, SyntheticNetwork};
+pub use traffic::{LatentState, TrafficModel};

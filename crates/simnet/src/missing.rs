@@ -1,0 +1,210 @@
+//! Missing-value injection (Sec. II-C).
+//!
+//! The paper reports three gap shapes — isolated cells `K_{i,j,k}`,
+//! whole frames `K_{i,j,:}`, and multi-hour outages `K_{i,j:j+t,:}` —
+//! plus a population of hopeless sectors (≥ one week more than half
+//! missing) that the sector filter must discard. All four are injected
+//! here, after KPI synthesis, so imputation quality can be evaluated
+//! against known ground truth.
+
+use crate::rng::{exponential, stage_rng, tags};
+use hotspot_core::tensor::Tensor3;
+use rand::RngExt;
+
+/// Rates controlling injected missingness.
+#[derive(Debug, Clone)]
+pub struct MissingnessConfig {
+    /// Probability that any single cell is dropped.
+    pub point_rate: f64,
+    /// Probability that a whole `(sector, hour)` frame is dropped.
+    pub frame_rate: f64,
+    /// Expected outages (multi-hour, all-indicator gaps) per sector
+    /// over the whole period.
+    pub outages_per_sector: f64,
+    /// Mean outage duration in hours.
+    pub outage_mean_hours: f64,
+    /// Fraction of sectors rendered hopeless (one week mostly missing)
+    /// to exercise the Sec. II-C filter.
+    pub hopeless_fraction: f64,
+}
+
+impl Default for MissingnessConfig {
+    fn default() -> Self {
+        MissingnessConfig {
+            point_rate: 0.015,
+            frame_rate: 0.006,
+            outages_per_sector: 0.8,
+            outage_mean_hours: 9.0,
+            hopeless_fraction: 0.02,
+        }
+    }
+}
+
+/// Applies a [`MissingnessConfig`] to a tensor.
+#[derive(Debug, Clone)]
+pub struct MissingInjector {
+    config: MissingnessConfig,
+    seed: u64,
+}
+
+impl MissingInjector {
+    /// Create an injector.
+    pub fn new(config: MissingnessConfig, seed: u64) -> Self {
+        MissingInjector { config, seed }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MissingnessConfig {
+        &self.config
+    }
+
+    /// Inject gaps in place; returns the number of cells dropped.
+    pub fn inject(&self, kpis: &mut Tensor3) -> usize {
+        self.inject_with_log(kpis).len()
+    }
+
+    /// Inject gaps in place, recording each dropped cell's flat index
+    /// (`(i·m + j)·l + k`) and its original value — the ground truth
+    /// for evaluating imputation quality without cloning the tensor.
+    pub fn inject_with_log(&self, kpis: &mut Tensor3) -> Vec<MissingRecord> {
+        let mut rng = stage_rng(self.seed, tags::MISSING);
+        let (n, m, l) = kpis.shape();
+        let mut log = Vec::new();
+        let drop_cell = |kpis: &mut Tensor3, log: &mut Vec<MissingRecord>, i: usize, j: usize, k: usize| {
+            let v = kpis.get(i, j, k);
+            if !v.is_nan() {
+                kpis.set(i, j, k, f64::NAN);
+                log.push(MissingRecord { flat: (i * m + j) * l + k, original: v });
+            }
+        };
+
+        for i in 0..n {
+            // Point gaps + frame gaps, one pass per sector.
+            for j in 0..m {
+                if rng.random::<f64>() < self.config.frame_rate {
+                    for k in 0..l {
+                        drop_cell(kpis, &mut log, i, j, k);
+                    }
+                    continue;
+                }
+                for k in 0..l {
+                    if rng.random::<f64>() < self.config.point_rate {
+                        drop_cell(kpis, &mut log, i, j, k);
+                    }
+                }
+            }
+            // Outages: Poisson count via expected rate.
+            if self.config.outages_per_sector > 0.0 && m > 0 {
+                let mut t = 0.0;
+                let rate = self.config.outages_per_sector / m as f64;
+                loop {
+                    t += exponential(&mut rng, rate.max(1e-12));
+                    let start = t as usize;
+                    if start >= m {
+                        break;
+                    }
+                    let dur = (1.0 + exponential(&mut rng, 1.0 / self.config.outage_mean_hours))
+                        as usize;
+                    for j in start..(start + dur).min(m) {
+                        for k in 0..l {
+                            drop_cell(kpis, &mut log, i, j, k);
+                        }
+                    }
+                    t += dur as f64;
+                }
+            }
+            // Hopeless sectors: wipe ~70% of a random aligned week.
+            if rng.random::<f64>() < self.config.hopeless_fraction && m >= 168 {
+                let weeks = m / 168;
+                let w = rng.random_range(0..weeks);
+                let start = w * 168;
+                for j in start..start + 168 {
+                    if rng.random::<f64>() < 0.7 {
+                        for k in 0..l {
+                            drop_cell(kpis, &mut log, i, j, k);
+                        }
+                    }
+                }
+            }
+        }
+        log
+    }
+}
+
+/// One dropped cell: its flat tensor index and the value it had.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MissingRecord {
+    /// Flat row-major index `(i·m + j)·l + k`.
+    pub flat: usize,
+    /// The ground-truth value before injection.
+    pub original: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotspot_core::missing::{fraction_missing, sector_filter_mask};
+
+    fn tensor() -> Tensor3 {
+        Tensor3::filled(40, 168 * 4, 5, 1.0)
+    }
+
+    #[test]
+    fn injects_roughly_configured_fraction() {
+        let mut t = tensor();
+        let dropped = MissingInjector::new(MissingnessConfig::default(), 3).inject(&mut t);
+        assert_eq!(dropped, t.count_nan());
+        let frac = t.fraction_nan();
+        // Point 1.5% + frames 0.6% + outages + hopeless ≈ 3–9%.
+        assert!(frac > 0.02 && frac < 0.12, "missing fraction {frac}");
+    }
+
+    #[test]
+    fn zero_rates_inject_nothing() {
+        let mut t = tensor();
+        let cfg = MissingnessConfig {
+            point_rate: 0.0,
+            frame_rate: 0.0,
+            outages_per_sector: 0.0,
+            outage_mean_hours: 1.0,
+            hopeless_fraction: 0.0,
+        };
+        assert_eq!(MissingInjector::new(cfg, 3).inject(&mut t), 0);
+        assert_eq!(t.count_nan(), 0);
+    }
+
+    #[test]
+    fn hopeless_sectors_fail_the_filter() {
+        let mut t = Tensor3::filled(200, 168 * 2, 3, 1.0);
+        let cfg = MissingnessConfig {
+            point_rate: 0.0,
+            frame_rate: 0.0,
+            outages_per_sector: 0.0,
+            outage_mean_hours: 1.0,
+            hopeless_fraction: 0.25,
+        };
+        MissingInjector::new(cfg, 7).inject(&mut t);
+        let mask = sector_filter_mask(&t, 0.5).unwrap();
+        let discarded = mask.iter().filter(|&&k| !k).count();
+        assert!(discarded > 20, "only {discarded} sectors discarded");
+        assert!(discarded < 120);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = tensor();
+        let mut b = tensor();
+        MissingInjector::new(MissingnessConfig::default(), 11).inject(&mut a);
+        MissingInjector::new(MissingnessConfig::default(), 11).inject(&mut b);
+        assert!(a.bit_eq(&b));
+    }
+
+    #[test]
+    fn per_sector_stats_reflect_injection() {
+        let mut t = tensor();
+        MissingInjector::new(MissingnessConfig::default(), 5).inject(&mut t);
+        let stats = fraction_missing(&t);
+        assert!(stats.per_sector.iter().any(|&f| f > 0.0));
+        assert!(stats.fraction() > 0.0);
+    }
+}

@@ -1,0 +1,305 @@
+//! Top-level network assembly: geography → traffic → events → KPIs →
+//! missingness, producing the tensor `K` and the metadata downstream
+//! crates need.
+
+use crate::events::{EventEngine, EventRates};
+use crate::geography::{Geography, GeographyConfig};
+use crate::kpigen::KpiGenerator;
+use crate::missing::{MissingInjector, MissingRecord, MissingnessConfig};
+use crate::rng::{stage_rng, sub_seed, tags};
+use crate::traffic::{TrafficConfig, TrafficModel};
+use hotspot_core::calendar::{Calendar, CalendarConfig};
+use hotspot_core::kpi::KpiCatalog;
+use hotspot_core::tensor::Tensor3;
+use hotspot_core::HOURS_PER_WEEK;
+use rand::SeedableRng;
+
+/// Full configuration of a synthetic network realisation.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Observation length in weeks (the paper has 18).
+    pub n_weeks: usize,
+    /// Layout parameters (including the sector count).
+    pub geography: GeographyConfig,
+    /// Traffic parameters.
+    pub traffic: TrafficConfig,
+    /// Event frequencies.
+    pub events: EventRates,
+    /// Missingness rates.
+    pub missingness: MissingnessConfig,
+    /// Calendar (epoch + holidays).
+    pub calendar: CalendarConfig,
+}
+
+impl NetworkConfig {
+    /// A laptop-quick configuration: 120 sectors, 6 weeks.
+    pub fn small() -> Self {
+        NetworkConfig {
+            n_weeks: 6,
+            geography: GeographyConfig { n_sectors: 120, ..Default::default() },
+            traffic: TrafficConfig::default(),
+            events: EventRates::default(),
+            missingness: MissingnessConfig::default(),
+            calendar: CalendarConfig::paper_period(),
+        }
+    }
+
+    /// The paper-shaped configuration at reduced sector count:
+    /// 600 sectors, 18 weeks (the paper's full period).
+    pub fn paper_shaped() -> Self {
+        NetworkConfig {
+            n_weeks: 18,
+            geography: GeographyConfig { n_sectors: 600, ..Default::default() },
+            traffic: TrafficConfig::default(),
+            events: EventRates::default(),
+            missingness: MissingnessConfig::default(),
+            calendar: CalendarConfig::paper_period(),
+        }
+    }
+
+    /// Override the sector count fluently.
+    pub fn with_sectors(mut self, n: usize) -> Self {
+        self.geography.n_sectors = n;
+        self
+    }
+
+    /// Override the week count fluently.
+    pub fn with_weeks(mut self, w: usize) -> Self {
+        self.n_weeks = w;
+        self
+    }
+
+    /// Hours of observation `mʰ`.
+    pub fn n_hours(&self) -> usize {
+        self.n_weeks * HOURS_PER_WEEK
+    }
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        Self::small()
+    }
+}
+
+/// Descriptive metadata for one sector.
+#[derive(Debug, Clone)]
+pub struct SectorMeta {
+    /// Hosting tower index.
+    pub tower: usize,
+    /// Planar position, km.
+    pub x: f64,
+    /// Planar position, km.
+    pub y: f64,
+    /// Land-use archetype.
+    pub archetype: crate::archetype::Archetype,
+    /// Drawn traffic capacity.
+    pub capacity: f64,
+    /// Drawn base load.
+    pub base_load: f64,
+}
+
+/// A fully generated synthetic network.
+#[derive(Debug, Clone)]
+pub struct SyntheticNetwork {
+    config: NetworkConfig,
+    seed: u64,
+    geography: Geography,
+    traffic: TrafficModel,
+    events: EventEngine,
+    calendar: Calendar,
+    kpis: Tensor3,
+    missing_log: Vec<MissingRecord>,
+}
+
+impl SyntheticNetwork {
+    /// Generate a network deterministically from a config and seed.
+    pub fn generate(config: &NetworkConfig, seed: u64) -> Self {
+        let n_hours = config.n_hours();
+        let geography = Geography::generate(&config.geography, seed);
+        let traffic = TrafficModel::generate(&geography, &config.traffic, seed);
+        let events = EventEngine::generate(&geography, n_hours, &config.events, seed);
+        let calendar = Calendar::build(config.calendar.clone(), n_hours);
+        let generator = KpiGenerator::new(KpiCatalog::standard());
+
+        let n = geography.n_sectors();
+        let l = generator.catalog().len();
+        let mut kpis = Tensor3::zeros(n, n_hours, l);
+        let noise_master = sub_seed(seed, tags::KPI_NOISE);
+        for i in 0..n {
+            let site = &geography.sectors()[i];
+            let overlay = events.overlay(i, n_hours);
+            // Independent per-sector stream so sector i's data does not
+            // depend on how many draws sector i-1 consumed.
+            let mut rng =
+                rand::rngs::StdRng::seed_from_u64(sub_seed(noise_master, i as u64));
+            let states =
+                traffic.simulate_sector(i, site.archetype, &overlay, &calendar, n_hours, &mut rng);
+            for (j, state) in states.iter().enumerate() {
+                generator.frame_into(state, &mut rng, kpis.frame_mut(i, j));
+            }
+        }
+
+        let injector = MissingInjector::new(config.missingness.clone(), seed);
+        let missing_log = injector.inject_with_log(&mut kpis);
+
+        SyntheticNetwork { config: config.clone(), seed, geography, traffic, events, calendar, kpis, missing_log }
+    }
+
+    /// The KPI tensor `K` (with `NaN` gaps).
+    pub fn kpis(&self) -> &Tensor3 {
+        &self.kpis
+    }
+
+    /// Mutable access to the KPI tensor (for imputation in place).
+    pub fn kpis_mut(&mut self) -> &mut Tensor3 {
+        &mut self.kpis
+    }
+
+    /// Ground truth for every injected gap.
+    pub fn missing_log(&self) -> &[MissingRecord] {
+        &self.missing_log
+    }
+
+    /// A copy of the tensor with all gaps restored to ground truth —
+    /// the oracle an imputer is judged against.
+    pub fn ground_truth(&self) -> Tensor3 {
+        let mut t = self.kpis.clone();
+        let buf = t.as_mut_slice();
+        for rec in &self.missing_log {
+            buf[rec.flat] = rec.original;
+        }
+        t
+    }
+
+    /// Layout.
+    pub fn geography(&self) -> &Geography {
+        &self.geography
+    }
+
+    /// Traffic parameters.
+    pub fn traffic(&self) -> &TrafficModel {
+        &self.traffic
+    }
+
+    /// The injected event list (simulation ground truth).
+    pub fn events(&self) -> &EventEngine {
+        &self.events
+    }
+
+    /// Calendar for the observation period.
+    pub fn calendar(&self) -> &Calendar {
+        &self.calendar
+    }
+
+    /// The generating configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// The master seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of sectors.
+    pub fn n_sectors(&self) -> usize {
+        self.geography.n_sectors()
+    }
+
+    /// Number of hourly samples.
+    pub fn n_hours(&self) -> usize {
+        self.kpis.n_time()
+    }
+
+    /// Metadata for sector `i`.
+    pub fn meta(&self, i: usize) -> SectorMeta {
+        let site = &self.geography.sectors()[i];
+        let t = &self.traffic.sectors()[i];
+        SectorMeta {
+            tower: site.tower,
+            x: site.x,
+            y: site.y,
+            archetype: site.archetype,
+            capacity: t.capacity,
+            base_load: t.base_load,
+        }
+    }
+
+    /// Pairwise sector distance in km.
+    pub fn distance(&self, i: usize, j: usize) -> f64 {
+        self.geography.distance(i, j)
+    }
+}
+
+/// A deterministic convenience RNG derived from a network's seed, for
+/// downstream consumers (e.g. picking example sectors).
+pub fn derived_rng(network: &SyntheticNetwork, tag: u64) -> rand::rngs::StdRng {
+    stage_rng(network.seed(), 0xD00D ^ tag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotspot_core::pipeline::ScorePipeline;
+
+    fn tiny() -> NetworkConfig {
+        NetworkConfig::small().with_sectors(40).with_weeks(3)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SyntheticNetwork::generate(&tiny(), 99);
+        let b = SyntheticNetwork::generate(&tiny(), 99);
+        assert!(a.kpis().bit_eq(b.kpis()));
+        assert_eq!(a.missing_log().len(), b.missing_log().len());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SyntheticNetwork::generate(&tiny(), 1);
+        let b = SyntheticNetwork::generate(&tiny(), 2);
+        assert!(!a.kpis().bit_eq(b.kpis()));
+    }
+
+    #[test]
+    fn shapes_follow_config() {
+        let net = SyntheticNetwork::generate(&tiny(), 5);
+        assert_eq!(net.n_sectors(), 40);
+        assert_eq!(net.n_hours(), 3 * HOURS_PER_WEEK);
+        assert_eq!(net.kpis().n_features(), 21);
+        assert_eq!(net.calendar().matrix().rows(), net.n_hours());
+    }
+
+    #[test]
+    fn ground_truth_restores_all_gaps() {
+        let net = SyntheticNetwork::generate(&tiny(), 7);
+        assert!(net.kpis().count_nan() > 0, "expected some injected gaps");
+        let gt = net.ground_truth();
+        assert_eq!(gt.count_nan(), 0);
+        assert_eq!(net.missing_log().len(), net.kpis().count_nan());
+        // Non-missing cells agree between K and ground truth.
+        for (a, b) in net.kpis().as_slice().iter().zip(gt.as_slice()) {
+            if !a.is_nan() {
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn network_produces_some_hot_spots_but_not_all() {
+        let net = SyntheticNetwork::generate(&NetworkConfig::small().with_weeks(4), 11);
+        let scored = ScorePipeline::standard().run(&net.ground_truth()).unwrap();
+        let prev = hotspot_core::labels::prevalence(&scored.y_daily);
+        assert!(prev > 0.005, "daily hot-spot prevalence too low: {prev}");
+        assert!(prev < 0.5, "daily hot-spot prevalence too high: {prev}");
+    }
+
+    #[test]
+    fn meta_is_consistent() {
+        let net = SyntheticNetwork::generate(&tiny(), 13);
+        let m = net.meta(0);
+        assert_eq!(m.tower, net.geography().sectors()[0].tower);
+        assert!(m.capacity > 0.0);
+        assert_eq!(net.distance(0, 1), 0.0); // co-tower
+    }
+}

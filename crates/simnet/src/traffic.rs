@@ -1,0 +1,351 @@
+//! The latent traffic model: per-sector load, capacity, and the three
+//! stress signals the KPI generator consumes.
+//!
+//! Every sector gets a drawn parameter set (base load, provisioning
+//! headroom, noise level, slow trend). Hour by hour, the latent load is
+//!
+//! ```text
+//! load(i, j) = base_i · intensity(archetype_i, hour, weekday)
+//!            · holiday_adj · (1 + trend_i · j/m) · overlay_load(i, j)
+//!            · lognormal_noise
+//! ```
+//!
+//! and the three stresses handed to [`crate::kpigen`] are
+//!
+//! * `load_stress` — smoothstep of `load / capacity_i`,
+//! * `interference_stress` — neighbourhood crowding + congestion
+//!   overlay + a failure coupling (faulty equipment raises noise),
+//! * `failure` — straight from the event overlay.
+//!
+//! A configurable fraction of sectors is *chronically under-
+//! provisioned* (capacity below their routine peak), producing the
+//! sectors that are hot for the entire 18 weeks (Fig. 6C).
+
+use crate::archetype::Archetype;
+use crate::events::SectorOverlay;
+use crate::geography::Geography;
+use crate::rng::{clamp, gaussian, lognormal_noise, smoothstep, stage_rng, tags};
+use hotspot_core::calendar::Calendar;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Drawn per-sector traffic parameters.
+#[derive(Debug, Clone)]
+pub struct SectorTraffic {
+    /// Baseline load scale (Erlang-like arbitrary units).
+    pub base_load: f64,
+    /// Capacity in the same units; `base_load·peak_intensity` above
+    /// capacity means routine congestion.
+    pub capacity: f64,
+    /// Hour-to-hour multiplicative noise sigma.
+    pub noise_sigma: f64,
+    /// Relative load growth over the whole observation period.
+    pub trend: f64,
+    /// Background interference floor in `[0, 1)`.
+    pub interference_floor: f64,
+}
+
+/// Configuration of the traffic model.
+#[derive(Debug, Clone)]
+pub struct TrafficConfig {
+    /// Fraction of sectors whose capacity sits below their routine
+    /// peak (chronic hot spots).
+    pub underprovisioned_fraction: f64,
+    /// Typical provisioning headroom for healthy sectors: capacity =
+    /// peak-load × headroom.
+    pub headroom: f64,
+    /// Hourly load noise sigma (log-normal).
+    pub load_noise_sigma: f64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig { underprovisioned_fraction: 0.01, headroom: 1.28, load_noise_sigma: 0.22 }
+    }
+}
+
+/// The instantaneous latent state of one sector-hour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatentState {
+    /// Raw load in traffic units.
+    pub load: f64,
+    /// Load stress in `[0, 1]`.
+    pub load_stress: f64,
+    /// Interference stress in `[0, 1]`.
+    pub interference_stress: f64,
+    /// Failure stress in `[0, 1]`.
+    pub failure: f64,
+}
+
+/// The assembled traffic model for a network realisation.
+#[derive(Debug, Clone)]
+pub struct TrafficModel {
+    sectors: Vec<SectorTraffic>,
+    config: TrafficConfig,
+}
+
+impl TrafficModel {
+    /// Draw per-sector parameters.
+    ///
+    /// Demand and provisioning are partly *site-level* quantities:
+    /// all sectors of a tower share a subscriber-density factor and
+    /// the site's provisioning decision (the equipment is bought per
+    /// site), which is what couples co-located sectors' hot-spot
+    /// sequences (Fig. 8A, distance 0).
+    pub fn generate(geography: &Geography, config: &TrafficConfig, seed: u64) -> Self {
+        let mut rng = stage_rng(seed, tags::TRAFFIC);
+        // Per-tower shared draws.
+        let n_towers = geography.n_towers();
+        let tower_demand: Vec<f64> =
+            (0..n_towers).map(|_| lognormal_noise(&mut rng, 0.30)).collect();
+        let tower_tight: Vec<bool> = (0..n_towers)
+            .map(|_| rng.random::<f64>() < config.underprovisioned_fraction)
+            .collect();
+        let sectors = geography
+            .sectors()
+            .iter()
+            .map(|site| {
+                Self::draw_sector(
+                    site.archetype,
+                    config,
+                    tower_demand[site.tower],
+                    tower_tight[site.tower],
+                    &mut rng,
+                )
+            })
+            .collect();
+        TrafficModel { sectors, config: config.clone() }
+    }
+
+    fn draw_sector(
+        archetype: Archetype,
+        config: &TrafficConfig,
+        tower_demand: f64,
+        tower_tight: bool,
+        rng: &mut StdRng,
+    ) -> SectorTraffic {
+        // Busier archetypes carry more subscribers.
+        let archetype_scale = match archetype {
+            Archetype::Rural => 0.35,
+            Archetype::Residential => 1.0,
+            Archetype::Industrial => 0.9,
+            _ => 1.15,
+        };
+        let base_load = archetype_scale * tower_demand * lognormal_noise(rng, 0.20);
+        let peak_intensity = archetype
+            .diurnal_profile()
+            .iter()
+            .cloned()
+            .fold(f64::MIN, f64::max)
+            * archetype.day_weights().iter().cloned().fold(f64::MIN, f64::max);
+        let peak_load = base_load * peak_intensity;
+        // Chronic under-provisioning concentrates where demand peaks
+        // hardest relative to build-out: business and commercial
+        // districts (this also reproduces Table II's prominent
+        // workday patterns — those sectors cool off on weekends).
+        let under_bias: f64 = match archetype {
+            Archetype::Office | Archetype::Commercial | Archetype::Transport => 2.2,
+            Archetype::Industrial => 1.5,
+            Archetype::Residential => 0.6,
+            Archetype::Nightlife => 0.8,
+            Archetype::Rural => 0.2,
+        };
+        // The site decision dominates; archetype bias modulates which
+        // sites end up tight (business districts run out first).
+        let underprovisioned = tower_tight && rng.random::<f64>() < 0.85 * under_bias.min(1.5)
+            || rng.random::<f64>() < 0.3 * config.underprovisioned_fraction * under_bias;
+        let capacity = if underprovisioned {
+            // Capacity 40–65% of routine peak: congested through
+            // most waking hours, hot most days.
+            peak_load * (0.40 + 0.25 * rng.random::<f64>())
+        } else {
+            // Healthy headroom with spread; a slice of the population
+            // sits close enough to the edge to trip on busy days only.
+            peak_load * config.headroom * clamp(lognormal_noise(rng, 0.22), 0.72, 2.4)
+        };
+        SectorTraffic {
+            base_load,
+            capacity: capacity.max(1e-6),
+            noise_sigma: config.load_noise_sigma * clamp(lognormal_noise(rng, 0.3), 0.4, 2.5),
+            trend: gaussian(rng, 0.03, 0.04),
+            interference_floor: clamp(0.08 + 0.08 * gaussian(rng, 0.0, 1.0).abs(), 0.0, 0.5),
+        }
+    }
+
+    /// Per-sector parameters.
+    pub fn sectors(&self) -> &[SectorTraffic] {
+        &self.sectors
+    }
+
+    /// The generating configuration.
+    pub fn config(&self) -> &TrafficConfig {
+        &self.config
+    }
+
+    /// Compute the full latent state series for one sector.
+    ///
+    /// `overlay` comes from [`crate::events::EventEngine::overlay`];
+    /// `calendar` provides weekday/holiday context; `rng` drives the
+    /// hourly noise (callers derive it per sector for determinism).
+    pub fn simulate_sector(
+        &self,
+        sector: usize,
+        archetype: Archetype,
+        overlay: &SectorOverlay,
+        calendar: &Calendar,
+        n_hours: usize,
+        rng: &mut StdRng,
+    ) -> Vec<LatentState> {
+        let p = &self.sectors[sector];
+        let mut out = Vec::with_capacity(n_hours);
+        for j in 0..n_hours {
+            let date = calendar.date_of_hour(j);
+            let hod = j % 24;
+            let dow = date.weekday() as usize;
+            let holiday = calendar.config().holidays.contains(&date);
+            let mut intensity = archetype.intensity(hod, dow);
+            if holiday {
+                intensity *= archetype.holiday_factor();
+            }
+            let trend = 1.0 + p.trend * j as f64 / n_hours.max(1) as f64;
+            let load = p.base_load
+                * intensity
+                * trend
+                * overlay.load[j]
+                * lognormal_noise(rng, p.noise_sigma);
+            let ratio = load / p.capacity;
+            let load_stress = smoothstep(ratio, 0.55, 1.05);
+            let failure = overlay.failure[j];
+            // Interference: floor + crowding coupling + congestion
+            // overlay + failure coupling (faulty radios raise noise).
+            let interference_stress = clamp(
+                p.interference_floor
+                    + 0.35 * load_stress
+                    + overlay.interference[j]
+                    + 0.55 * failure
+                    + gaussian(rng, 0.0, 0.03),
+                0.0,
+                1.0,
+            );
+            out.push(LatentState { load, load_stress, interference_stress, failure });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geography::{Geography, GeographyConfig};
+    use hotspot_core::calendar::CalendarConfig;
+
+    fn setup() -> (Geography, TrafficModel, Calendar) {
+        let geo =
+            Geography::generate(&GeographyConfig { n_sectors: 60, ..Default::default() }, 21);
+        let model = TrafficModel::generate(&geo, &TrafficConfig::default(), 21);
+        let cal = Calendar::build(CalendarConfig::paper_period(), 168 * 2);
+        (geo, model, cal)
+    }
+
+    fn flat_overlay(n: usize) -> SectorOverlay {
+        SectorOverlay { load: vec![1.0; n], interference: vec![0.0; n], failure: vec![0.0; n] }
+    }
+
+    #[test]
+    fn parameters_are_sane() {
+        let (_, model, _) = setup();
+        for p in model.sectors() {
+            assert!(p.base_load > 0.0);
+            assert!(p.capacity > 0.0);
+            assert!(p.noise_sigma > 0.0);
+            assert!((0.0..=0.5).contains(&p.interference_floor));
+        }
+    }
+
+    #[test]
+    fn underprovisioning_fraction_respected() {
+        let geo =
+            Geography::generate(&GeographyConfig { n_sectors: 3000, ..Default::default() }, 5);
+        let cfg = TrafficConfig { underprovisioned_fraction: 0.10, ..Default::default() };
+        let model = TrafficModel::generate(&geo, &cfg, 5);
+        // Count sectors whose capacity is below 0.95 × routine peak.
+        let mut tight = 0usize;
+        for (p, site) in model.sectors().iter().zip(geo.sectors()) {
+            let peak_int = site
+                .archetype
+                .diurnal_profile()
+                .iter()
+                .cloned()
+                .fold(f64::MIN, f64::max)
+                * site.archetype.day_weights().iter().cloned().fold(f64::MIN, f64::max);
+            if p.capacity < 0.95 * p.base_load * peak_int {
+                tight += 1;
+            }
+        }
+        let frac = tight as f64 / 3000.0;
+        assert!(frac > 0.05 && frac < 0.20, "under-provisioned fraction {frac}");
+    }
+
+    #[test]
+    fn stresses_are_bounded() {
+        let (geo, model, cal) = setup();
+        let mut rng = stage_rng(9, 100);
+        let states =
+            model.simulate_sector(0, geo.sectors()[0].archetype, &flat_overlay(336), &cal, 336, &mut rng);
+        assert_eq!(states.len(), 336);
+        for s in states {
+            assert!(s.load >= 0.0);
+            assert!((0.0..=1.0).contains(&s.load_stress));
+            assert!((0.0..=1.0).contains(&s.interference_stress));
+            assert_eq!(s.failure, 0.0);
+        }
+    }
+
+    #[test]
+    fn failure_overlay_raises_interference() {
+        let (geo, model, cal) = setup();
+        let n = 336;
+        let mut fail = flat_overlay(n);
+        for f in &mut fail.failure {
+            *f = 1.0;
+        }
+        let mut rng1 = stage_rng(9, 101);
+        let mut rng2 = stage_rng(9, 101);
+        let clean =
+            model.simulate_sector(0, geo.sectors()[0].archetype, &flat_overlay(n), &cal, n, &mut rng1);
+        let broken = model.simulate_sector(0, geo.sectors()[0].archetype, &fail, &cal, n, &mut rng2);
+        let mean = |v: &[LatentState], f: fn(&LatentState) -> f64| {
+            v.iter().map(f).sum::<f64>() / v.len() as f64
+        };
+        assert!(
+            mean(&broken, |s| s.interference_stress) > mean(&clean, |s| s.interference_stress) + 0.3
+        );
+        assert_eq!(mean(&broken, |s| s.failure), 1.0);
+    }
+
+    #[test]
+    fn daytime_load_exceeds_night() {
+        let (geo, model, cal) = setup();
+        let mut rng = stage_rng(9, 102);
+        // Pick an office sector if one exists, else any urban one.
+        let idx = geo
+            .sectors()
+            .iter()
+            .position(|s| s.archetype == Archetype::Office)
+            .unwrap_or(0);
+        let arch = geo.sectors()[idx].archetype;
+        let states = model.simulate_sector(idx, arch, &flat_overlay(336), &cal, 336, &mut rng);
+        // Average weekday noon load vs 3am load over two weeks.
+        let mut noon = 0.0;
+        let mut night = 0.0;
+        let mut count = 0.0;
+        for d in 0..14 {
+            if cal.date_of_day(d).weekday() < 5 {
+                noon += states[d * 24 + 12].load;
+                night += states[d * 24 + 3].load;
+                count += 1.0;
+            }
+        }
+        assert!(noon / count > 2.0 * night / count, "noon {noon} night {night}");
+    }
+}

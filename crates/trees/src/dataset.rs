@@ -1,0 +1,269 @@
+//! Training-set container: row-major features, binary labels, and
+//! per-sample weights (including the paper's balanced weighting).
+
+use std::fmt;
+
+/// Errors from dataset construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// Feature buffer length is not `n_samples * n_features`.
+    ShapeMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// Label count differs from sample count.
+    LabelMismatch {
+        /// Number of samples.
+        samples: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+    /// A feature value was not finite.
+    NonFiniteFeature {
+        /// Sample row.
+        row: usize,
+        /// Feature column.
+        col: usize,
+    },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::ShapeMismatch { expected, actual } => {
+                write!(f, "feature buffer: expected {expected}, got {actual}")
+            }
+            DatasetError::LabelMismatch { samples, labels } => {
+                write!(f, "{samples} samples but {labels} labels")
+            }
+            DatasetError::NonFiniteFeature { row, col } => {
+                write!(f, "non-finite feature at ({row}, {col})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+/// A dense binary-classification dataset.
+///
+/// Features are row-major (`n_samples × n_features`) and must be
+/// finite — tree split search has no well-defined ordering for `NaN`,
+/// so the constructor rejects it (the feature builders upstream
+/// sanitise their output).
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    features: Vec<f64>,
+    labels: Vec<bool>,
+    weights: Vec<f64>,
+    n_features: usize,
+}
+
+impl Dataset {
+    /// Build a dataset with uniform unit weights.
+    ///
+    /// # Errors
+    /// Rejects shape mismatches and non-finite features.
+    pub fn new(
+        features: Vec<f64>,
+        n_features: usize,
+        labels: Vec<bool>,
+    ) -> Result<Self, DatasetError> {
+        let n = labels.len();
+        if features.len() != n * n_features {
+            return Err(DatasetError::ShapeMismatch {
+                expected: n * n_features,
+                actual: features.len(),
+            });
+        }
+        if let Some(pos) = features.iter().position(|v| !v.is_finite()) {
+            return Err(DatasetError::NonFiniteFeature {
+                row: if n_features == 0 { 0 } else { pos / n_features },
+                col: if n_features == 0 { 0 } else { pos % n_features },
+            });
+        }
+        let weights = vec![1.0; n];
+        Ok(Dataset { features, labels, weights, n_features })
+    }
+
+    /// Replace the weights with the scikit-learn "balanced" scheme:
+    /// `w_c = n / (2 · n_c)` for each class `c`, so both classes carry
+    /// the same total weight. A class with zero members keeps weight 0
+    /// (it cannot occur in any sample anyway).
+    pub fn balance_weights(&mut self) {
+        let n = self.labels.len() as f64;
+        let pos = self.labels.iter().filter(|&&y| y).count() as f64;
+        let neg = n - pos;
+        // With a single class present there is nothing to balance
+        // (scikit-learn divides by the number of *present* classes).
+        if pos == 0.0 || neg == 0.0 {
+            for w in &mut self.weights {
+                *w = 1.0;
+            }
+            return;
+        }
+        let w_pos = n / (2.0 * pos);
+        let w_neg = n / (2.0 * neg);
+        for (w, &y) in self.weights.iter_mut().zip(&self.labels) {
+            *w = if y { w_pos } else { w_neg };
+        }
+    }
+
+    /// Set explicit per-sample weights.
+    ///
+    /// # Panics
+    /// Panics if the length differs from the sample count.
+    pub fn set_weights(&mut self, weights: Vec<f64>) {
+        assert_eq!(weights.len(), self.labels.len(), "weight count mismatch");
+        self.weights = weights;
+    }
+
+    /// Number of samples.
+    pub fn n_samples(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// One sample's feature row.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.features[i * self.n_features..(i + 1) * self.n_features]
+    }
+
+    /// Feature value `(i, k)`.
+    #[inline]
+    pub fn feature(&self, i: usize, k: usize) -> f64 {
+        self.features[i * self.n_features + k]
+    }
+
+    /// Label of sample `i`.
+    #[inline]
+    pub fn label(&self, i: usize) -> bool {
+        self.labels[i]
+    }
+
+    /// Weight of sample `i`.
+    #[inline]
+    pub fn weight(&self, i: usize) -> f64 {
+        self.weights[i]
+    }
+
+    /// Total weight over all samples.
+    pub fn total_weight(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// Total weight over a subset of sample indices.
+    pub fn subset_weight(&self, indices: &[usize]) -> f64 {
+        indices.iter().map(|&i| self.weights[i]).sum()
+    }
+
+    /// Weighted positive fraction over a subset (the leaf probability).
+    pub fn weighted_positive_fraction(&self, indices: &[usize]) -> f64 {
+        let mut pos = 0.0;
+        let mut total = 0.0;
+        for &i in indices {
+            total += self.weights[i];
+            if self.labels[i] {
+                pos += self.weights[i];
+            }
+        }
+        if total <= 0.0 {
+            0.5
+        } else {
+            pos / total
+        }
+    }
+
+    /// Fraction of positive labels (unweighted prevalence).
+    pub fn prevalence(&self) -> f64 {
+        if self.labels.is_empty() {
+            return 0.0;
+        }
+        self.labels.iter().filter(|&&y| y).count() as f64 / self.labels.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        // 4 samples × 2 features; labels T T F F.
+        Dataset::new(
+            vec![1.0, 0.0, 2.0, 0.0, 3.0, 1.0, 4.0, 1.0],
+            2,
+            vec![true, true, false, false],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let d = toy();
+        assert_eq!(d.n_samples(), 4);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.row(1), &[2.0, 0.0]);
+        assert_eq!(d.feature(2, 1), 1.0);
+        assert!(d.label(0));
+        assert!(!d.label(3));
+        assert_eq!(d.weight(0), 1.0);
+        assert_eq!(d.total_weight(), 4.0);
+        assert_eq!(d.prevalence(), 0.5);
+    }
+
+    #[test]
+    fn rejects_bad_shapes_and_nan() {
+        assert!(matches!(
+            Dataset::new(vec![1.0; 7], 2, vec![true; 4]),
+            Err(DatasetError::ShapeMismatch { expected: 8, actual: 7 })
+        ));
+        assert!(matches!(
+            Dataset::new(vec![1.0, f64::NAN, 1.0, 1.0], 2, vec![true, false]),
+            Err(DatasetError::NonFiniteFeature { row: 0, col: 1 })
+        ));
+        assert!(Dataset::new(vec![1.0, f64::INFINITY], 1, vec![true, false]).is_err());
+    }
+
+    #[test]
+    fn balanced_weights_equalise_classes() {
+        // 1 positive, 3 negatives.
+        let mut d = Dataset::new(
+            vec![0.0, 1.0, 2.0, 3.0],
+            1,
+            vec![true, false, false, false],
+        )
+        .unwrap();
+        d.balance_weights();
+        assert!((d.weight(0) - 2.0).abs() < 1e-12); // 4 / (2·1)
+        assert!((d.weight(1) - 2.0 / 3.0).abs() < 1e-12); // 4 / (2·3)
+        // Class totals match.
+        let pos_total: f64 = (0..4).filter(|&i| d.label(i)).map(|i| d.weight(i)).sum();
+        let neg_total: f64 = (0..4).filter(|&i| !d.label(i)).map(|i| d.weight(i)).sum();
+        assert!((pos_total - neg_total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_weights_single_class() {
+        let mut d = Dataset::new(vec![0.0, 1.0], 1, vec![false, false]).unwrap();
+        d.balance_weights();
+        assert_eq!(d.weight(0), 1.0);
+        assert_eq!(d.weight(1), 1.0);
+    }
+
+    #[test]
+    fn subset_helpers() {
+        let mut d = toy();
+        d.set_weights(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(d.subset_weight(&[0, 2]), 4.0);
+        // Weighted positive fraction over {0 (pos, w1), 2 (neg, w3)}.
+        assert!((d.weighted_positive_fraction(&[0, 2]) - 0.25).abs() < 1e-12);
+        assert_eq!(d.weighted_positive_fraction(&[]), 0.5);
+    }
+}

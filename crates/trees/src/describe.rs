@@ -1,0 +1,132 @@
+//! Human-readable tree inspection.
+//!
+//! The paper reads fitted trees directly — "if we consider the Tree
+//! trained for h = 22 days, the score S appears already in the first
+//! split, and also in the third split" (Sec. V-B). This module walks
+//! a fitted [`DecisionTree`] and reports its splits in breadth-first
+//! order with optional feature names, so that analysis is one call.
+
+use crate::tree::DecisionTree;
+
+/// One split, in breadth-first order from the root.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitDescription {
+    /// Breadth-first position (0 = root).
+    pub position: usize,
+    /// Depth (0 = root).
+    pub depth: usize,
+    /// Feature column the split tests.
+    pub feature: usize,
+    /// Threshold (`value <= threshold` goes left).
+    pub threshold: f64,
+}
+
+impl DecisionTree {
+    /// The first `limit` splits in breadth-first order.
+    pub fn describe_splits(&self, limit: usize) -> Vec<SplitDescription> {
+        let mut out = Vec::new();
+        let mut queue: std::collections::VecDeque<(usize, usize)> = Default::default();
+        if self.n_nodes() > 0 {
+            queue.push_back((0, 0));
+        }
+        while let Some((node, depth)) = queue.pop_front() {
+            if out.len() >= limit {
+                break;
+            }
+            if let Some((feature, threshold, left, right)) = self.split_at(node) {
+                out.push(SplitDescription { position: out.len(), depth, feature, threshold });
+                queue.push_back((left, depth + 1));
+                queue.push_back((right, depth + 1));
+            }
+        }
+        out
+    }
+
+    /// Render the top of the tree as an indented text diagram, mapping
+    /// feature indices through `name_of`.
+    pub fn render(&self, max_depth: usize, name_of: &dyn Fn(usize) -> String) -> String {
+        let mut out = String::new();
+        self.render_node(0, 0, max_depth, name_of, &mut out);
+        out
+    }
+
+    fn render_node(
+        &self,
+        node: usize,
+        depth: usize,
+        max_depth: usize,
+        name_of: &dyn Fn(usize) -> String,
+        out: &mut String,
+    ) {
+        let indent = "  ".repeat(depth);
+        match self.split_at(node) {
+            Some((feature, threshold, left, right)) => {
+                if depth >= max_depth {
+                    out.push_str(&format!("{indent}...\n"));
+                    return;
+                }
+                out.push_str(&format!("{indent}{} <= {threshold:.4}?\n", name_of(feature)));
+                self.render_node(left, depth + 1, max_depth, name_of, out);
+                self.render_node(right, depth + 1, max_depth, name_of, out);
+            }
+            None => {
+                out.push_str(&format!("{indent}leaf p={:.3}\n", self.leaf_proba_at(node)));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::dataset::Dataset;
+    use crate::tree::{DecisionTree, MaxFeatures, TreeParams};
+
+    fn fitted() -> DecisionTree {
+        // Feature 1 is decisive; feature 0 is noise.
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..40 {
+            features.push((i % 7) as f64);
+            features.push(i as f64);
+            labels.push(i >= 20);
+        }
+        let data = Dataset::new(features, 2, labels).unwrap();
+        DecisionTree::fit(
+            &data,
+            &TreeParams {
+                max_features: MaxFeatures::All,
+                min_weight_fraction: 0.0,
+                max_depth: None,
+                seed: 1,
+            },
+        )
+    }
+
+    #[test]
+    fn first_split_is_the_informative_feature() {
+        let tree = fitted();
+        let splits = tree.describe_splits(5);
+        assert!(!splits.is_empty());
+        assert_eq!(splits[0].position, 0);
+        assert_eq!(splits[0].depth, 0);
+        assert_eq!(splits[0].feature, 1, "root split must use the decisive feature");
+        assert!((splits[0].threshold - 19.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn render_names_features() {
+        let tree = fitted();
+        let text = tree.render(3, &|k| format!("f{k}"));
+        assert!(text.contains("f1 <="), "{text}");
+        assert!(text.contains("leaf p="), "{text}");
+    }
+
+    #[test]
+    fn stump_renders_single_leaf() {
+        let data = Dataset::new(vec![1.0, 2.0], 1, vec![true, true]).unwrap();
+        let tree = DecisionTree::fit(&data, &TreeParams::paper_tree());
+        assert!(tree.describe_splits(10).is_empty());
+        let text = tree.render(3, &|k| format!("f{k}"));
+        assert!(text.starts_with("leaf p=1.000"));
+    }
+}

@@ -1,0 +1,89 @@
+//! Capacity-planning scenario: investment plans are finalised weeks
+//! in advance (paper, Sec. I), so rank the sectors most likely to be
+//! hot spots **four weeks out** (h = 29) and contrast that list with
+//! what a naive "average of last week" planner would buy.
+//!
+//! ```sh
+//! cargo run --release --example capacity_planning
+//! ```
+
+use hotspot::core::ScorePipeline;
+use hotspot::eval::lift::delta_percent;
+use hotspot::forecast::baselines::average_forecast;
+use hotspot::forecast::classifier::{fit_and_forecast, ClassifierConfig};
+use hotspot::forecast::context::{ForecastContext, Target};
+use hotspot::forecast::evaluate::evaluate_day;
+use hotspot::features::windows::WindowSpec;
+use hotspot::nn::imputer::{ForwardFillImputer, Imputer};
+use hotspot::simnet::{NetworkConfig, SyntheticNetwork};
+
+fn main() {
+    // A full paper-length run: 18 weeks so a 29-day horizon fits.
+    let config = NetworkConfig::small().with_sectors(250).with_weeks(18);
+    let mut network = SyntheticNetwork::generate(&config, 2024);
+    ForwardFillImputer.impute(network.kpis_mut());
+    let scored = ScorePipeline::standard().run(network.kpis()).expect("scoring");
+    let ctx =
+        ForecastContext::build(network.kpis(), &scored, Target::BeHotSpot).expect("context");
+
+    let h = 29; // four weeks out
+    let w = 7;
+    let t = scored.n_days() - h - 1;
+    let spec = WindowSpec::new(t, h, w);
+    println!("planning at day {t} for day {} (h = {h})", spec.target_day());
+
+    // Model-based plan.
+    let cfg = ClassifierConfig { n_trees: 30, train_days: 7, ..ClassifierConfig::rf_f1() };
+    let fitted = fit_and_forecast(&ctx, &spec, &cfg).expect("window fits");
+    // Naive plan: trailing weekly average of the score.
+    let naive = average_forecast(&ctx, &spec);
+
+    let budget = 10; // how many sectors we can upgrade
+    let top = |scores: &[f64]| -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..scores.len()).collect();
+        idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap());
+        idx.truncate(budget);
+        idx
+    };
+    let plan_model = top(&fitted.predictions);
+    let plan_naive = top(&naive);
+
+    // How many of each plan's sectors actually become hot spots?
+    let actually_hot = |plan: &[usize]| -> usize {
+        plan.iter().filter(|&&i| ctx.target.get(i, spec.target_day()) >= 0.5).count()
+    };
+    println!(
+        "budget {budget}: RF-F1 plan catches {} future hot spots, Average plan catches {}",
+        actually_hot(&plan_model),
+        actually_hot(&plan_naive),
+    );
+
+    // Full-ranking comparison.
+    let model_eval = evaluate_day(&ctx, &spec, &fitted.predictions, 20, 7);
+    let naive_eval = evaluate_day(&ctx, &spec, &naive, 20, 7);
+    if let (Some(m), Some(n)) = (model_eval, naive_eval) {
+        println!(
+            "lift at h=29: RF-F1 {:.1}x vs Average {:.1}x (delta {:+.0}%)",
+            m.lift,
+            n.lift,
+            delta_percent(n.lift, m.lift),
+        );
+        println!(
+            "(the paper still sees >12x-random lift four weeks out; both plans
+beat guessing because chronic hot spots persist)"
+        );
+    }
+
+    println!("\nupgrade list (RF-F1):");
+    for &sector in &plan_model {
+        let meta = network.meta(sector);
+        let hot = ctx.target.get(sector, spec.target_day()) >= 0.5;
+        println!(
+            "  sector {sector:3} [{}]  capacity {:.2}  peak-ish load {:.2}  -> {}",
+            meta.archetype.name(),
+            meta.capacity,
+            meta.base_load,
+            if hot { "HOT on target day" } else { "not hot on target day" },
+        );
+    }
+}

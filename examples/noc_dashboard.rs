@@ -1,0 +1,111 @@
+//! Network-operations-centre dashboard: the short-term triage loop
+//! the paper's introduction motivates — every morning, rank the
+//! sectors most likely to be hot spots *tomorrow*, split regular
+//! (pattern-driven) from emerging (failure-driven) alerts, and show
+//! the KPI classes driving each alert.
+//!
+//! ```sh
+//! cargo run --release --example noc_dashboard
+//! ```
+
+use hotspot::core::kpi::KpiCatalog;
+use hotspot::core::ScorePipeline;
+use hotspot::forecast::classifier::{fit_and_forecast, ClassifierConfig};
+use hotspot::forecast::context::{ForecastContext, Target};
+use hotspot::features::windows::WindowSpec;
+use hotspot::nn::imputer::{ForwardFillImputer, Imputer};
+use hotspot::simnet::{NetworkConfig, SyntheticNetwork};
+
+fn main() {
+    let config = NetworkConfig::small().with_sectors(150).with_weeks(8);
+    let mut network = SyntheticNetwork::generate(&config, 2024);
+    ForwardFillImputer.impute(network.kpis_mut());
+    let scored = ScorePipeline::standard().run(network.kpis()).expect("scoring");
+
+    let today = scored.n_days() - 9; // leave room for the emergence window
+    println!("=== NOC morning report, day {today} ===\n");
+
+    // --- Alert stream 1: regular hot spots expected tomorrow.
+    let be_ctx =
+        ForecastContext::build(network.kpis(), &scored, Target::BeHotSpot).expect("context");
+    let spec = WindowSpec::new(today, 1, 7);
+    let cfg = ClassifierConfig { n_trees: 25, train_days: 5, ..ClassifierConfig::rf_f1() };
+    let be = fit_and_forecast(&be_ctx, &spec, &cfg).expect("window fits");
+
+    println!("-- expected hot spots tomorrow (RF-F1, h=1) --");
+    let mut ranked: Vec<(usize, f64)> = be.predictions.iter().copied().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    let catalog = KpiCatalog::standard();
+    for (sector, p) in ranked.iter().take(8) {
+        let meta = network.meta(*sector);
+        // Which KPI tripped most over the last day? (driver hint)
+        let score_cfg = hotspot::core::ScoreConfig::standard();
+        let mut trips = vec![0usize; catalog.len()];
+        let last_day = (today * 24).saturating_sub(24)..today * 24;
+        for j in last_day {
+            let frame = network.kpis().frame(*sector, j);
+            for (k, def) in catalog.defs().iter().enumerate() {
+                let exceeded = match def.polarity {
+                    hotspot::core::kpi::Polarity::HighIsBad => {
+                        frame[k] >= score_cfg.thresholds()[k]
+                    }
+                    hotspot::core::kpi::Polarity::LowIsBad => {
+                        frame[k] <= score_cfg.thresholds()[k]
+                    }
+                };
+                if exceeded {
+                    trips[k] += 1;
+                }
+            }
+        }
+        let driver = trips
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(k, &c)| if c > 0 { catalog.defs()[k].name } else { "none" })
+            .unwrap_or("none");
+        println!(
+            "  p={p:.2}  sector {sector:3} [{}]  tower {:3}  driver: {driver}",
+            meta.archetype.name(),
+            meta.tower,
+        );
+    }
+
+    // --- Alert stream 2: *emerging* persistent hot spots.
+    let become_ctx =
+        ForecastContext::build(network.kpis(), &scored, Target::BecomeHotSpot).expect("context");
+    let emerging =
+        fit_and_forecast(&become_ctx, &spec, &ClassifierConfig { train_days: 14, ..cfg.clone() })
+            .expect("window fits");
+    println!("\n-- emerging persistent hot-spot watchlist (RF-F1 on the 'become' target) --");
+    let mut ranked: Vec<(usize, f64)> =
+        emerging.predictions.iter().copied().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    for (sector, p) in ranked.iter().take(5) {
+        let meta = network.meta(*sector);
+        println!(
+            "  p={p:.2}  sector {sector:3} [{}]  tower {:3}",
+            meta.archetype.name(),
+            meta.tower
+        );
+    }
+
+    // --- Ground truth check against the simulator's event log.
+    println!("\n-- active hardware failures (simulation ground truth) --");
+    let now_hour = today * 24;
+    let mut any = false;
+    for event in network.events().events() {
+        if event.active_at(now_hour)
+            && matches!(
+                event.kind,
+                hotspot::simnet::events::EventKind::HardwareFailure { .. }
+            )
+        {
+            println!("  sectors {:?}, hours {}..{}", event.sectors, event.start, event.end);
+            any = true;
+        }
+    }
+    if !any {
+        println!("  none active right now");
+    }
+}

@@ -1,0 +1,77 @@
+//! Quickstart: simulate a small cellular network, score it, and
+//! forecast tomorrow's hot spots with an RF-F1 forest.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hotspot::core::ScorePipeline;
+use hotspot::forecast::classifier::{fit_and_forecast, ClassifierConfig};
+use hotspot::forecast::context::{ForecastContext, Target};
+use hotspot::forecast::evaluate::evaluate_day;
+use hotspot::nn::imputer::{ForwardFillImputer, Imputer};
+use hotspot::features::windows::WindowSpec;
+use hotspot::simnet::{NetworkConfig, SyntheticNetwork};
+
+fn main() {
+    // 1. Simulate a network: 120 sectors, 6 weeks of hourly KPIs,
+    //    with hardware failures, flash crowds, and missing data.
+    let config = NetworkConfig::small();
+    let mut network = SyntheticNetwork::generate(&config, 42);
+    println!(
+        "simulated {} sectors x {} hours ({} events, {:.1}% cells missing)",
+        network.n_sectors(),
+        network.n_hours(),
+        network.events().events().len(),
+        100.0 * network.kpis().fraction_nan(),
+    );
+
+    // 2. Impute the gaps (forward fill here; see the `imputation`
+    //    example for the paper's denoising autoencoder).
+    let filled = ForwardFillImputer.impute(network.kpis_mut());
+    println!("imputed {filled} missing cells");
+
+    // 3. Run the operator's scoring pipeline: KPIs -> hot-spot score
+    //    -> daily/weekly labels (Eqs. 1-4 of the paper).
+    let scored = ScorePipeline::standard().run(network.kpis()).expect("scoring");
+    let hot_days: f64 = hotspot::core::prevalence(&scored.y_daily);
+    println!("daily hot-spot prevalence: {:.2}%", 100.0 * hot_days);
+
+    // 4. Forecast: train an RF-F1 forest at day t = 33 to predict
+    //    day t + h.
+    let ctx = ForecastContext::build(network.kpis(), &scored, Target::BeHotSpot)
+        .expect("context");
+    let spec = WindowSpec::new(33, 1, 7); // t = 33, horizon 1 day, window 7 days
+    let config = ClassifierConfig { n_trees: 25, train_days: 5, ..ClassifierConfig::rf_f1() };
+    let fitted = fit_and_forecast(&ctx, &spec, &config).expect("window fits");
+
+    // 5. Evaluate the ranking against the true labels of day t + h.
+    match evaluate_day(&ctx, &spec, &fitted.predictions, 20, 42) {
+        Some(rec) => println!(
+            "day {}: AP {:.3} vs random {:.3} -> lift {:.1}x ({} hot sectors of {})",
+            spec.target_day(),
+            rec.ap,
+            rec.ap_random,
+            rec.lift,
+            rec.positives,
+            rec.evaluated,
+        ),
+        None => println!("day {} had no hot sectors to rank", spec.target_day()),
+    }
+
+    // 6. Print tomorrow's top-5 predicted hot spots.
+    let mut ranked: Vec<(usize, f64)> =
+        fitted.predictions.iter().copied().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    println!("top-5 predicted hot spots for day {}:", spec.target_day());
+    for (sector, p) in ranked.iter().take(5) {
+        let meta = network.meta(*sector);
+        println!(
+            "  sector {sector:3}  p={p:.2}  tower {:3}  {}  ({:.1}, {:.1}) km",
+            meta.tower,
+            meta.archetype.name(),
+            meta.x,
+            meta.y,
+        );
+    }
+}

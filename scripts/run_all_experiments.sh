@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Regenerate every paper table/figure into results/*.tsv.
+# Usage: scripts/run_all_experiments.sh [extra flags passed to every binary]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p hotspot-bench --bins
+mkdir -p results
+
+run() {
+  local name="$1"; shift
+  echo ">>> $name $*"
+  local t0=$SECONDS
+  ./target/release/"$name" "$@" > "results/${name#exp_}.tsv"
+  echo "    $((SECONDS-t0))s elapsed"
+}
+
+# Data & dynamics (fast)
+run exp_tab03_grid "$@"
+run exp_fig01_kpi_examples "$@"
+run exp_fig02_score_labels "$@"
+run exp_fig03_label_raster "$@"
+run exp_fig04_score_histogram "$@"
+run exp_fig06_duration_histograms "$@"
+run exp_fig07_consecutive_runs "$@"
+run exp_tab02_weekly_patterns "$@"
+run exp_fig08_spatial_correlation "$@"
+
+# Imputation (autoencoder training)
+run exp_fig05_imputation "$@"
+
+# Forecasting sweeps (the slow ones; fig09/fig11 also print the
+# delta tables of figs 10/12 from the same sweep)
+run exp_fig09_lift_vs_horizon "$@"
+run exp_fig11_become_lift "$@"
+run exp_fig13_lift_vs_window "$@"
+run exp_fig14_become_lift_vs_window "$@"
+run exp_fig15_feature_importance "$@"
+run exp_fig16_become_importance "$@"
+run exp_sec5a_temporal_stability "$@"
+
+# Ablations
+run exp_ablation_features "$@"
+run exp_ablation_ntrees "$@"
+run exp_ablation_depth "$@"
+run exp_ablation_train_days "$@"
+run exp_ablation_imputation "$@"
+
+# Standalone regenerators for the delta figures (same sweep code path
+# as fig09/fig11; kept last because they repeat that work)
+run exp_fig10_delta_vs_horizon "$@"
+run exp_fig12_become_delta "$@"
+
+echo "all experiments written to results/"

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Reduced-cost remainder of the experiment suite (single-core budget):
+# fewer trees and a thinner t axis than the defaults; EXPERIMENTS.md
+# records the flags next to each result.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+FLAGS="--trees 15 --t-step 18"
+run() {
+  local name="$1"; shift
+  echo ">>> $name $*"
+  local t0=$SECONDS
+  ./target/release/"$name" "$@" > "results/${name#exp_}.tsv" 2>&1
+  echo "    $((SECONDS-t0))s elapsed"
+}
+run exp_fig11_become_lift $FLAGS
+run exp_fig13_lift_vs_window $FLAGS
+run exp_fig14_become_lift_vs_window $FLAGS
+run exp_fig15_feature_importance $FLAGS
+run exp_fig16_become_importance $FLAGS
+run exp_sec5a_temporal_stability $FLAGS --t-step 4
+run exp_ablation_train_days $FLAGS
+run exp_ablation_features $FLAGS
+run exp_ablation_ntrees $FLAGS
+run exp_ablation_depth $FLAGS
+run exp_ablation_imputation $FLAGS
+run exp_fig10_delta_vs_horizon $FLAGS
+run exp_fig12_become_delta $FLAGS
+echo "remaining experiments done"

@@ -1,0 +1,46 @@
+//! # hotspot — facade crate
+//!
+//! Forecasting cellular network hot spots from sector performance
+//! indicators: a full Rust reproduction of *“Hot or Not? Forecasting
+//! Cellular Network Hot Spots Using Sector Performance Indicators”*
+//! (Serrà et al., ICDE 2017).
+//!
+//! This crate re-exports the entire workspace so downstream users can
+//! depend on a single crate:
+//!
+//! * [`core`] — KPI tensor, score pipeline (Eqs. 1–4), labels, calendar.
+//! * [`simnet`] — the synthetic cellular network simulator that stands
+//!   in for the paper's proprietary operator dataset.
+//! * [`nn`] — the denoising-autoencoder missing-value imputer.
+//! * [`trees`] — decision trees, random forests, gradient boosting.
+//! * [`features`] — the input tensor `X` (Eq. 5) and the RF-R / RF-F1 /
+//!   RF-F2 feature representations.
+//! * [`forecast`] — baselines, classifier models, and sweep runners.
+//! * [`eval`] — average precision, lift, KS tests, correlation.
+//! * [`analysis`] — hot-spot dynamics (Sec. III): run lengths, weekly
+//!   patterns, spatial correlation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hotspot::simnet::{NetworkConfig, SyntheticNetwork};
+//! use hotspot::core::ScorePipeline;
+//!
+//! // Simulate a small network and score it.
+//! let config = NetworkConfig::small();
+//! let network = SyntheticNetwork::generate(&config, 42);
+//! let scored = ScorePipeline::standard().run(network.kpis()).unwrap();
+//! assert!(scored.n_days() > 0);
+//! ```
+
+pub use hotspot_analysis as analysis;
+pub use hotspot_core as core;
+pub use hotspot_eval as eval;
+pub use hotspot_features as features;
+pub use hotspot_forecast as forecast;
+pub use hotspot_nn as nn;
+pub use hotspot_simnet as simnet;
+pub use hotspot_trees as trees;
+
+/// Workspace version string.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

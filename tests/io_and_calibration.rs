@@ -1,0 +1,77 @@
+//! Integration: CSV round-trip of simulated data through the scoring
+//! pipeline, and calibration diagnostics over real forecasts.
+
+use hotspot::core::io::{read_tensor_csv, write_matrix_csv, write_tensor_csv};
+use hotspot::core::ScorePipeline;
+use hotspot::eval::calibration::{brier_score, reliability_curve};
+use hotspot::forecast::classifier::{fit_and_forecast, ClassifierConfig};
+use hotspot::forecast::context::{ForecastContext, Target};
+use hotspot::features::windows::WindowSpec;
+use hotspot::nn::imputer::{ForwardFillImputer, Imputer};
+use hotspot::simnet::{NetworkConfig, SyntheticNetwork};
+use std::io::BufReader;
+
+#[test]
+fn csv_round_trip_preserves_the_scored_products() {
+    let config = NetworkConfig::small().with_sectors(30).with_weeks(2);
+    let network = SyntheticNetwork::generate(&config, 17);
+
+    // Export the raw (gappy) tensor and re-import it.
+    let mut buf = Vec::new();
+    write_tensor_csv(network.kpis(), &mut buf).unwrap();
+    let reloaded = read_tensor_csv(BufReader::new(buf.as_slice())).unwrap();
+    assert!(network.kpis().bit_eq(&reloaded), "tensor round-trip");
+
+    // Identical downstream products from the reloaded data.
+    let mut a = network.kpis().clone();
+    let mut b = reloaded;
+    ForwardFillImputer.impute(&mut a);
+    ForwardFillImputer.impute(&mut b);
+    let scored_a = ScorePipeline::standard().run(&a).unwrap();
+    let scored_b = ScorePipeline::standard().run(&b).unwrap();
+    assert!(scored_a.s_daily.bit_eq(&scored_b.s_daily));
+    assert!(scored_a.y_daily.bit_eq(&scored_b.y_daily));
+
+    // Matrices export cleanly too.
+    let mut mbuf = Vec::new();
+    write_matrix_csv(&scored_a.s_daily, &mut mbuf).unwrap();
+    assert!(mbuf.starts_with(b"sector,t0"));
+}
+
+#[test]
+fn forest_probabilities_are_usefully_calibrated() {
+    let config = NetworkConfig::small().with_sectors(120).with_weeks(8);
+    let mut network = SyntheticNetwork::generate(&config, 23);
+    ForwardFillImputer.impute(network.kpis_mut());
+    let scored = ScorePipeline::standard().run(network.kpis()).unwrap();
+    let ctx = ForecastContext::build(network.kpis(), &scored, Target::BeHotSpot).unwrap();
+
+    let cfg = ClassifierConfig { n_trees: 20, train_days: 8, ..ClassifierConfig::rf_f1() };
+    let mut labels = Vec::new();
+    let mut probs = Vec::new();
+    for t in [30usize, 36, 42, 48] {
+        let spec = WindowSpec::new(t, 1, 7);
+        let fitted = fit_and_forecast(&ctx, &spec, &cfg).unwrap();
+        let day = spec.target_day();
+        for (i, &p) in fitted.predictions.iter().enumerate() {
+            let y = ctx.target.get(i, day);
+            if !y.is_nan() {
+                labels.push(y >= 0.5);
+                probs.push(p);
+            }
+        }
+    }
+    let prevalence = labels.iter().filter(|&&y| y).count() as f64 / labels.len() as f64;
+    let brier = brier_score(&labels, &probs);
+    // The forecast must beat the "predict the prevalence" constant
+    // (its Brier score is p(1-p)).
+    assert!(
+        brier < prevalence * (1.0 - prevalence),
+        "brier {brier} vs climatology {}",
+        prevalence * (1.0 - prevalence)
+    );
+    // The low-probability bin must be overwhelmingly negative.
+    let curve = reliability_curve(&labels, &probs, 5);
+    assert!(!curve.is_empty());
+    assert!(curve[0].observed < 0.2, "low bin observed {}", curve[0].observed);
+}

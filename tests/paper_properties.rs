@@ -1,0 +1,171 @@
+//! Structural properties the paper's analysis rests on, verified
+//! end-to-end on the synthetic substitute: weekly regularity, the
+//! persistence of chronic hot spots, spatial correlation structure,
+//! and the persistence baseline's 7-day periodicity.
+
+use hotspot::analysis::patterns::{top_weekly_patterns, weekly_consistency};
+use hotspot::analysis::runs::weeks_hot_histogram;
+use hotspot::analysis::spatial::{correlation_vs_distance, SpatialConfig, SpatialMode};
+use hotspot::core::missing::sector_filter_mask;
+use hotspot::core::ScorePipeline;
+use hotspot::eval::histogram::log_spaced_edges;
+use hotspot::eval::stats::mean;
+use hotspot::forecast::baselines::persist_forecast;
+use hotspot::forecast::context::{ForecastContext, Target};
+use hotspot::forecast::evaluate::evaluate_day;
+use hotspot::features::windows::WindowSpec;
+use hotspot::nn::imputer::{ForwardFillImputer, Imputer, MeanImputer};
+use hotspot::simnet::{NetworkConfig, SyntheticNetwork};
+
+struct Fixture {
+    scored: hotspot::core::ScoredNetwork,
+    positions: Vec<(f64, f64)>,
+    kpis: hotspot::core::Tensor3,
+}
+
+fn fixture(seed: u64, sectors: usize, weeks: usize) -> Fixture {
+    let config = NetworkConfig::small().with_sectors(sectors).with_weeks(weeks);
+    let network = SyntheticNetwork::generate(&config, seed);
+    let mask = sector_filter_mask(network.kpis(), 0.5).unwrap();
+    let mut kpis = network.kpis().retain_sectors(&mask).unwrap();
+    ForwardFillImputer.impute(&mut kpis);
+    MeanImputer.impute(&mut kpis);
+    let scored = ScorePipeline::standard().run(&kpis).unwrap();
+    let positions: Vec<(f64, f64)> = mask
+        .iter()
+        .enumerate()
+        .filter(|(_, &keep)| keep)
+        .map(|(i, _)| {
+            let s = &network.geography().sectors()[i];
+            (s.x, s.y)
+        })
+        .collect();
+    Fixture { scored, positions, kpis }
+}
+
+#[test]
+fn weekly_patterns_match_paper_structure() {
+    let f = fixture(11, 200, 12);
+    let top = top_weekly_patterns(&f.scored.y_daily, 20);
+    assert!(!top.is_empty(), "some hot weeks must exist");
+    // The full-week pattern and at least one workday-style pattern
+    // appear prominently (Table II ranks 2-4).
+    let notations: Vec<String> = top.iter().map(|p| p.pattern.notation()).collect();
+    assert!(
+        notations.iter().any(|n| n == "M T W T F S S"),
+        "full week missing from top-20: {notations:?}"
+    );
+    assert!(
+        top.iter().any(|p| {
+            let bits = p.pattern.0;
+            bits & 0b11111 != 0 && bits & 0b1100000 == 0 && p.pattern.n_hot_days() >= 3
+        }),
+        "no workday-dominant pattern in top-20: {notations:?}"
+    );
+}
+
+#[test]
+fn weekly_consistency_is_positive_on_average() {
+    let f = fixture(12, 150, 10);
+    let consistency = weekly_consistency(&f.scored.s_daily);
+    assert!(!consistency.is_empty());
+    let m = mean(&consistency);
+    // The paper reports ≈ 0.6; any clearly positive consistency
+    // confirms the regularity mechanism.
+    assert!(m > 0.3, "mean weekly consistency {m}");
+}
+
+#[test]
+fn some_sectors_are_hot_for_the_entire_period() {
+    let f = fixture(13, 250, 10);
+    let hist = weeks_hot_histogram(&f.scored.y_daily);
+    let n_weeks = hist.len();
+    assert!(hist[n_weeks - 1] > 0, "no chronic sector hot all {n_weeks} weeks");
+    // And the most common value is small (paper: below 4 weeks).
+    let argmax = hist.iter().enumerate().max_by_key(|(_, &c)| c).unwrap().0 + 1;
+    assert!(argmax <= 4, "most common weeks-hot is {argmax}");
+}
+
+#[test]
+fn cotower_correlation_exceeds_distant_correlation() {
+    let f = fixture(14, 150, 8);
+    let config = SpatialConfig {
+        n_neighbors: 60,
+        n_best: 20,
+        edges: log_spaced_edges(0.1, 300.0, 10),
+        mode: SpatialMode::AverageOfNearest,
+    };
+    let summary = correlation_vs_distance(&f.scored.y_hourly, &f.positions, &config);
+    let b0 = &summary.buckets[0]; // distance 0: same tower
+    assert!(b0.n > 0, "no co-tower pairs measured");
+    // Median far-bucket correlation, over buckets past 10 km.
+    let far: Vec<f64> = summary
+        .edges
+        .windows(2)
+        .zip(&summary.buckets)
+        .filter(|(e, b)| e[0] >= 10.0 && b.n > 0)
+        .map(|(_, b)| b.p50)
+        .collect();
+    if let Some(&far_median) = far.first() {
+        assert!(
+            b0.p50 > far_median,
+            "co-tower median {} <= far median {}",
+            b0.p50,
+            far_median
+        );
+    }
+    assert!(b0.p50 > 0.1, "co-tower median correlation {}", b0.p50);
+}
+
+#[test]
+fn best_anywhere_correlation_stays_high_at_distance() {
+    // Fig. 8C: highly correlated twins exist far apart.
+    let f = fixture(15, 200, 8);
+    let config = SpatialConfig {
+        n_neighbors: 60,
+        n_best: 30,
+        edges: log_spaced_edges(0.1, 300.0, 8),
+        mode: SpatialMode::BestAnywhere,
+    };
+    let summary = correlation_vs_distance(&f.scored.y_hourly, &f.positions, &config);
+    let far_best: Vec<f64> = summary
+        .edges
+        .windows(2)
+        .zip(&summary.buckets)
+        .filter(|(e, b)| e[0] >= 20.0 && b.n > 3)
+        .map(|(_, b)| b.p75)
+        .collect();
+    assert!(!far_best.is_empty(), "no far buckets with data");
+    let best = far_best.iter().cloned().fold(f64::MIN, f64::max);
+    assert!(best > 0.35, "best far-apart correlation only {best}");
+}
+
+#[test]
+fn persist_baseline_shows_weekly_periodicity() {
+    // Fig. 9: Persist peaks at h = 7 relative to h = 4 (weekly
+    // regularity). Average over several evaluation days.
+    let f = fixture(16, 220, 14);
+    let ctx = ForecastContext::build(&f.kpis, &f.scored, Target::BeHotSpot).unwrap();
+    let mut lift = |h: usize| -> f64 {
+        let mut lifts = Vec::new();
+        for t in [40usize, 47, 54, 61, 68, 75] {
+            let spec = WindowSpec::new(t, h, 7);
+            if !spec.fits(ctx.n_days()) {
+                continue;
+            }
+            let preds = persist_forecast(&ctx, &spec);
+            if let Some(rec) = evaluate_day(&ctx, &spec, &preds, 15, 3) {
+                if rec.lift.is_finite() {
+                    lifts.push(rec.lift);
+                }
+            }
+        }
+        mean(&lifts)
+    };
+    let at7 = lift(7);
+    let at4 = lift(4);
+    assert!(
+        at7 > at4,
+        "Persist lift at h=7 ({at7}) should exceed h=4 ({at4}) under weekly regularity"
+    );
+}
