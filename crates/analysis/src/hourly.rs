@@ -64,7 +64,7 @@ pub fn hot_fraction_by_weekday(y_daily: &Matrix) -> [f64; DAYS_PER_WEEK] {
 /// midnight) of length `span` with the highest total hot fraction —
 /// the "busy window" the paper's importance analysis points at.
 pub fn busiest_hour_window(y_hourly: &Matrix, span: usize) -> (usize, usize) {
-    assert!(span >= 1 && span <= HOURS_PER_DAY, "span must be in 1..=24");
+    assert!((1..=HOURS_PER_DAY).contains(&span), "span must be in 1..=24");
     let profile = hot_fraction_by_hour(y_hourly);
     let mut best_start = 0usize;
     let mut best_sum = f64::MIN;
@@ -114,7 +114,7 @@ mod tests {
         // Hot 22:00–02:00.
         let y = Matrix::from_fn(1, 24 * 3, |_, j| {
             let h = j % 24;
-            if h >= 22 || h < 2 {
+            if !(2..22).contains(&h) {
                 1.0
             } else {
                 0.0

@@ -97,6 +97,7 @@ fn main() {
         random_repeats: 15,
         seed: opts.seed,
         n_threads: None,
+        resilience: Default::default(),
     };
     let result = hotspot_forecast::sweep::run_sweep(&ctx, &config);
     let (mean, ci) = result.mean_lift(ModelSpec::RfF1, h, w);

@@ -28,6 +28,7 @@ fn main() {
         random_repeats: 15,
         seed: opts.seed,
         n_threads: None,
+        resilience: Default::default(),
     };
     let result = run_sweep(&ctx, &config);
     print_section("mean lift by representation");

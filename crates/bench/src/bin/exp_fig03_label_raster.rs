@@ -16,7 +16,7 @@ fn main() {
 
     let scored = &prep.scored;
     let mut indices: Vec<usize> = (0..scored.n_sectors()).collect();
-    let mut rng = StdRng::seed_from_u64(opts.seed ^ 0xF16_3);
+    let mut rng = StdRng::seed_from_u64(opts.seed ^ 0xF163);
     indices.shuffle(&mut rng);
     indices.truncate(500);
     indices.sort_unstable();

@@ -3,13 +3,13 @@
 //! average-precision distributions with a two-sample KS test. The
 //! paper finds no p < 0.01 and only 1.1% below 0.05.
 
-use hotspot_bench::experiments::{context, print_preamble};
+use hotspot_bench::experiments::{context, print_preamble, resilience, run_sweep_with_options};
 use hotspot_bench::report::{print_header, print_row, print_section, Cell};
 use hotspot_bench::{prepare, RunOptions};
 use hotspot_eval::ks::ks_two_sample;
 use hotspot_forecast::context::Target;
 use hotspot_forecast::models::ModelSpec;
-use hotspot_forecast::sweep::{run_sweep, SweepConfig};
+use hotspot_forecast::sweep::SweepConfig;
 
 fn main() {
     let mut opts = RunOptions::from_env();
@@ -34,8 +34,9 @@ fn main() {
         random_repeats: 15,
         seed: opts.seed,
         n_threads: None,
+        resilience: resilience(&opts),
     };
-    let result = run_sweep(&ctx, &config);
+    let result = run_sweep_with_options(&ctx, &config, &opts);
 
     // Split the t axis at its midpoint (the paper uses [52,69]/[70,87]).
     let ts = &config.ts;

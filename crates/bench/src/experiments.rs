@@ -7,7 +7,9 @@ use crate::report::{print_header, print_row, print_section, Cell};
 use hotspot_eval::lift::delta_percent;
 use hotspot_forecast::context::{ForecastContext, Target};
 use hotspot_forecast::models::ModelSpec;
-use hotspot_forecast::sweep::{run_sweep, SweepConfig, SweepResult, TableIIIGrid};
+use hotspot_forecast::sweep::{
+    run_sweep_resumable, ResiliencePolicy, SweepConfig, SweepResult, TableIIIGrid,
+};
 
 /// Build a forecast context for a prepared dataset and target.
 ///
@@ -16,6 +18,43 @@ use hotspot_forecast::sweep::{run_sweep, SweepConfig, SweepResult, TableIIIGrid}
 /// consistent).
 pub fn context(prep: &Prepared, target: Target) -> ForecastContext {
     ForecastContext::build(&prep.kpis, &prep.scored, target).expect("consistent prepared data")
+}
+
+/// The resilience policy implied by the run options.
+pub fn resilience(opts: &RunOptions) -> ResiliencePolicy {
+    ResiliencePolicy { cell_deadline_ms: opts.cell_deadline_ms, ..ResiliencePolicy::default() }
+}
+
+/// Run a sweep honouring the `--checkpoint` / `--resume` options.
+///
+/// Without `--checkpoint` this is a plain in-memory sweep. With one,
+/// finished cells are journaled as they complete; an existing file is
+/// continued only under `--resume` (otherwise the run aborts rather
+/// than silently mixing checkpoints). Non-clean sweep health is always
+/// surfaced on stderr so partial results never pass unnoticed.
+pub fn run_sweep_with_options(
+    ctx: &ForecastContext,
+    config: &SweepConfig,
+    opts: &RunOptions,
+) -> SweepResult {
+    if let Some(path) = &opts.checkpoint {
+        if path.exists() && !opts.resume {
+            eprintln!(
+                "checkpoint {} already exists; pass --resume to continue it or delete it first",
+                path.display()
+            );
+            std::process::exit(2);
+        }
+    }
+    let result = run_sweep_resumable(ctx, config, opts.checkpoint.as_deref())
+        .unwrap_or_else(|e| {
+            eprintln!("sweep checkpoint error: {e}");
+            std::process::exit(2);
+        });
+    if !result.health.is_clean() || result.health.resumed > 0 {
+        eprintln!("# sweep health: {}", result.health.summary());
+    }
+    result
 }
 
 /// Run the `(model, t, h)` sweep at a fixed window `w`.
@@ -37,8 +76,9 @@ pub fn horizon_sweep(
         random_repeats: 15,
         seed: opts.seed,
         n_threads: None,
+        resilience: resilience(opts),
     };
-    run_sweep(ctx, &config)
+    run_sweep_with_options(ctx, &config, opts)
 }
 
 /// Run the `(model, t, w)` sweep over the Table III window grid at
@@ -60,8 +100,9 @@ pub fn window_sweep(
         random_repeats: 15,
         seed: opts.seed,
         n_threads: None,
+        resilience: resilience(opts),
     };
-    run_sweep(ctx, &config)
+    run_sweep_with_options(ctx, &config, opts)
 }
 
 /// Print the Fig. 9/11 table: mean lift Λ (±95% CI) per model per `h`.
@@ -137,10 +178,11 @@ pub fn print_lift_by_w(result: &SweepResult, model: ModelSpec, hs: &[usize]) {
 pub fn print_preamble(name: &str, opts: &RunOptions, prep: &Prepared) {
     print_section(name);
     println!(
-        "# sectors={} (kept {} / filtered {}), weeks={}, seed={}, trees={}, train_days={}, t_step={}, imputed_cells={}",
+        "# sectors={} (kept {} / filtered {} / quarantined {}), weeks={}, seed={}, trees={}, train_days={}, t_step={}, imputed_cells={}",
         opts.sectors,
         prep.kept.len(),
         prep.n_filtered,
+        prep.n_quarantined,
         opts.weeks,
         opts.seed,
         opts.trees,

@@ -36,6 +36,16 @@ pub struct RunOptions {
     pub failure_rate: Option<f64>,
     /// Paper-scale grid (overrides the thinned defaults).
     pub full: bool,
+    /// Sweep checkpoint file: finished cells are journaled here, and
+    /// with `--resume` a prior partial run is continued.
+    pub checkpoint: Option<std::path::PathBuf>,
+    /// Continue an existing checkpoint instead of refusing to reuse it.
+    pub resume: bool,
+    /// Screen raw KPIs through the data-quality firewall and drop
+    /// quarantined sectors before the Sec. II-C filter.
+    pub firewall: bool,
+    /// Cooperative per-cell soft deadline for sweep cells, in ms.
+    pub cell_deadline_ms: Option<u64>,
 }
 
 impl Default for RunOptions {
@@ -50,6 +60,10 @@ impl Default for RunOptions {
             imputer: ImputerChoice::ForwardFill,
             failure_rate: None,
             full: false,
+            checkpoint: None,
+            resume: false,
+            firewall: false,
+            cell_deadline_ms: None,
         }
     }
 }
@@ -97,10 +111,22 @@ impl RunOptions {
                     }));
                 }
                 "--full" => opts.full = true,
+                "--checkpoint" => {
+                    opts.checkpoint = Some(take(&mut args, "--checkpoint").into())
+                }
+                "--resume" => opts.resume = true,
+                "--firewall" => opts.firewall = true,
+                "--cell-deadline-ms" => {
+                    opts.cell_deadline_ms = Some(parse_num(
+                        &take(&mut args, "--cell-deadline-ms"),
+                        "--cell-deadline-ms",
+                    ) as u64)
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --sectors N --weeks N --seed N --trees N --train-days N \
-                         --t-step N --imputer (ffill|mean|ae) --failure-rate F --full"
+                         --t-step N --imputer (ffill|mean|ae) --failure-rate F --full \
+                         --checkpoint PATH --resume --firewall --cell-deadline-ms N"
                     );
                     std::process::exit(0);
                 }
@@ -169,6 +195,22 @@ mod tests {
         assert_eq!(o.train_days, 3);
         assert_eq!(o.t_step, 4);
         assert_eq!(o.imputer, ImputerChoice::Autoencoder);
+    }
+
+    #[test]
+    fn parses_fault_tolerance_flags() {
+        let o = parse(&[
+            "--checkpoint", "/tmp/sweep.tsv", "--resume", "--firewall",
+            "--cell-deadline-ms", "5000",
+        ]);
+        assert_eq!(o.checkpoint.as_deref(), Some(std::path::Path::new("/tmp/sweep.tsv")));
+        assert!(o.resume);
+        assert!(o.firewall);
+        assert_eq!(o.cell_deadline_ms, Some(5000));
+        let d = parse(&[]);
+        assert_eq!(d.checkpoint, None);
+        assert!(!d.resume && !d.firewall);
+        assert_eq!(d.cell_deadline_ms, None);
     }
 
     #[test]

@@ -2,7 +2,9 @@
 //! experiment: simulate → sector-filter → impute → score.
 
 use crate::options::{ImputerChoice, RunOptions};
+use hotspot_core::kpi::KpiCatalog;
 use hotspot_core::missing::sector_filter_mask;
+use hotspot_core::validate::{screen, FirewallConfig};
 use hotspot_core::pipeline::{ScorePipeline, ScoredNetwork};
 use hotspot_core::tensor::Tensor3;
 use hotspot_nn::imputer::{AutoencoderImputer, ForwardFillImputer, Imputer, ImputerConfig, MeanImputer};
@@ -22,6 +24,9 @@ pub struct Prepared {
     pub kept: Vec<usize>,
     /// Sectors discarded by the Sec. II-C filter.
     pub n_filtered: usize,
+    /// Sectors quarantined by the data-quality firewall (0 unless
+    /// `--firewall` was passed).
+    pub n_quarantined: usize,
     /// Gap cells filled by the imputer.
     pub n_imputed: usize,
 }
@@ -40,12 +45,30 @@ pub fn prepare(opts: &RunOptions) -> Prepared {
     }
     let network = SyntheticNetwork::generate(&config, opts.seed);
 
-    // Sec. II-C sector filter.
-    let mask = sector_filter_mask(network.kpis(), 0.5).expect("valid threshold");
+    // Data-quality firewall (opt-in): quarantine sectors whose raw
+    // KPIs show non-finite values, physically impossible readings, or
+    // stuck-at runs, before the statistical filter sees them.
+    let mut firewall_mask = vec![true; network.kpis().n_sectors()];
+    let mut n_quarantined = 0;
+    if opts.firewall {
+        let report = screen(network.kpis(), &KpiCatalog::standard(), &FirewallConfig::default())
+            .expect("catalog matches simulated tensor");
+        n_quarantined = report.n_quarantined();
+        if n_quarantined > 0 {
+            eprintln!("# firewall: {}", report.summary());
+        }
+        firewall_mask = report.keep_mask();
+    }
+
+    // Sec. II-C sector filter (composed with the firewall mask; a
+    // quarantined sector counts as quarantined, not filtered).
+    let filter = sector_filter_mask(network.kpis(), 0.5).expect("valid threshold");
+    let mask: Vec<bool> =
+        firewall_mask.iter().zip(&filter).map(|(&a, &b)| a && b).collect();
     let kept: Vec<usize> =
         mask.iter().enumerate().filter(|(_, &k)| k).map(|(i, _)| i).collect();
     assert!(!kept.is_empty(), "sector filter discarded everything");
-    let n_filtered = mask.len() - kept.len();
+    let n_filtered = firewall_mask.iter().zip(&filter).filter(|(&q, &f)| q && !f).count();
     let mut kpis = network.kpis().retain_sectors(&mask).expect("mask matches");
 
     // Imputation.
@@ -69,7 +92,7 @@ pub fn prepare(opts: &RunOptions) -> Prepared {
         })
         .collect();
 
-    Prepared { network, kpis, scored, positions, kept, n_filtered, n_imputed }
+    Prepared { network, kpis, scored, positions, kept, n_filtered, n_quarantined, n_imputed }
 }
 
 #[cfg(test)]
@@ -97,6 +120,14 @@ mod tests {
             let p = prepare(&RunOptions { imputer: imp, ..tiny_opts() });
             assert_eq!(p.kpis.count_nan(), 0);
         }
+    }
+
+    #[test]
+    fn firewall_passes_clean_simulated_data() {
+        let p = prepare(&RunOptions { firewall: true, ..tiny_opts() });
+        assert_eq!(p.n_quarantined, 0, "simulator output is clean");
+        let baseline = prepare(&tiny_opts());
+        assert_eq!(p.kept, baseline.kept, "firewall must not disturb a clean run");
     }
 
     #[test]

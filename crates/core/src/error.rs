@@ -26,6 +26,19 @@ pub enum CoreError {
     DimensionMismatch(String),
     /// A configuration value was rejected.
     InvalidConfig(String),
+    /// An underlying I/O operation failed. Carries the rendered
+    /// `std::io::Error` (the source error is not stored so the enum
+    /// stays `Clone + PartialEq`).
+    Io(String),
+    /// Ingested data failed validation (malformed CSV, quarantined
+    /// sectors, corrupt checkpoint lines, …).
+    InvalidData(String),
+}
+
+impl From<std::io::Error> for CoreError {
+    fn from(e: std::io::Error) -> Self {
+        CoreError::Io(e.to_string())
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -39,6 +52,8 @@ impl fmt::Display for CoreError {
             }
             CoreError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
             CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::Io(msg) => write!(f, "io error: {msg}"),
+            CoreError::InvalidData(msg) => write!(f, "invalid data: {msg}"),
         }
     }
 }
@@ -63,5 +78,16 @@ mod tests {
         assert!(e.to_string().contains("a vs b"));
         let e = CoreError::InvalidConfig("bad".into());
         assert!(e.to_string().contains("bad"));
+        let e = CoreError::Io("disk on fire".into());
+        assert!(e.to_string().contains("disk on fire"));
+        let e = CoreError::InvalidData("torn line".into());
+        assert!(e.to_string().contains("torn line"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: CoreError = io.into();
+        assert!(matches!(&e, CoreError::Io(msg) if msg.contains("gone")));
     }
 }

@@ -23,16 +23,14 @@ use std::io::{BufRead, Write};
 /// Write a KPI tensor as CSV (`NaN` → empty field).
 ///
 /// # Errors
-/// Propagates I/O errors as [`CoreError::InvalidConfig`] (the crate
-/// has no I/O error variant; the message carries the cause).
+/// Propagates I/O errors as [`CoreError::Io`].
 pub fn write_tensor_csv(tensor: &Tensor3, mut out: impl Write) -> Result<()> {
-    let io_err = |e: std::io::Error| CoreError::InvalidConfig(format!("io error: {e}"));
     let (n, m, l) = tensor.shape();
     let mut header = String::from("sector,hour");
     for k in 0..l {
         header.push_str(&format!(",kpi_{k}"));
     }
-    writeln!(out, "{header}").map_err(io_err)?;
+    writeln!(out, "{header}")?;
     let mut line = String::new();
     for i in 0..n {
         for j in 0..m {
@@ -45,7 +43,7 @@ pub fn write_tensor_csv(tensor: &Tensor3, mut out: impl Write) -> Result<()> {
                     line.push_str(&format!(",{v}"));
                 }
             }
-            writeln!(out, "{line}").map_err(io_err)?;
+            writeln!(out, "{line}")?;
         }
     }
     Ok(())
@@ -56,17 +54,18 @@ pub fn write_tensor_csv(tensor: &Tensor3, mut out: impl Write) -> Result<()> {
 ///
 /// # Errors
 /// Rejects malformed headers, ragged rows, non-numeric fields,
-/// duplicate `(sector, hour)` pairs, and sparse coverage.
+/// duplicate `(sector, hour)` pairs, and sparse coverage as
+/// [`CoreError::InvalidData`]; underlying read failures surface as
+/// [`CoreError::Io`].
 pub fn read_tensor_csv(input: impl BufRead) -> Result<Tensor3> {
-    let io_err = |e: std::io::Error| CoreError::InvalidConfig(format!("io error: {e}"));
     let mut lines = input.lines();
     let header = lines
         .next()
-        .ok_or_else(|| CoreError::InvalidConfig("empty csv".into()))?
-        .map_err(io_err)?;
+        .ok_or_else(|| CoreError::InvalidData("empty csv".into()))?
+        ?;
     let cols: Vec<&str> = header.split(',').collect();
     if cols.len() < 3 || cols[0] != "sector" || cols[1] != "hour" {
-        return Err(CoreError::InvalidConfig(format!("bad header: {header}")));
+        return Err(CoreError::InvalidData(format!("bad header: {header}")));
     }
     let l = cols.len() - 2;
 
@@ -79,13 +78,13 @@ pub fn read_tensor_csv(input: impl BufRead) -> Result<Tensor3> {
     let mut max_i = 0usize;
     let mut max_j = 0usize;
     for (lineno, line) in lines.enumerate() {
-        let line = line.map_err(io_err)?;
+        let line = line?;
         if line.trim().is_empty() {
             continue;
         }
         let fields: Vec<&str> = line.split(',').collect();
         if fields.len() != l + 2 {
-            return Err(CoreError::InvalidConfig(format!(
+            return Err(CoreError::InvalidData(format!(
                 "line {}: {} fields, expected {}",
                 lineno + 2,
                 fields.len(),
@@ -94,7 +93,7 @@ pub fn read_tensor_csv(input: impl BufRead) -> Result<Tensor3> {
         }
         let parse_idx = |s: &str, what: &str| -> Result<usize> {
             s.trim().parse().map_err(|_| {
-                CoreError::InvalidConfig(format!("line {}: bad {what} '{s}'", lineno + 2))
+                CoreError::InvalidData(format!("line {}: bad {what} '{s}'", lineno + 2))
             })
         };
         let i = parse_idx(fields[0], "sector")?;
@@ -106,7 +105,7 @@ pub fn read_tensor_csv(input: impl BufRead) -> Result<Tensor3> {
                 values.push(f64::NAN);
             } else {
                 values.push(t.parse().map_err(|_| {
-                    CoreError::InvalidConfig(format!("line {}: bad value '{t}'", lineno + 2))
+                    CoreError::InvalidData(format!("line {}: bad value '{t}'", lineno + 2))
                 })?);
             }
         }
@@ -117,7 +116,7 @@ pub fn read_tensor_csv(input: impl BufRead) -> Result<Tensor3> {
     let n = max_i + 1;
     let m = max_j + 1;
     if rows.len() != n * m {
-        return Err(CoreError::InvalidConfig(format!(
+        return Err(CoreError::InvalidData(format!(
             "sparse coverage: {} rows for a {n}x{m} grid",
             rows.len()
         )));
@@ -127,7 +126,7 @@ pub fn read_tensor_csv(input: impl BufRead) -> Result<Tensor3> {
     for row in rows {
         let slot = row.i * m + row.j;
         if seen[slot] {
-            return Err(CoreError::InvalidConfig(format!(
+            return Err(CoreError::InvalidData(format!(
                 "duplicate (sector {}, hour {})",
                 row.i, row.j
             )));
@@ -141,15 +140,14 @@ pub fn read_tensor_csv(input: impl BufRead) -> Result<Tensor3> {
 /// Write a matrix (scores or labels) as CSV: `sector,<m columns>`.
 ///
 /// # Errors
-/// Propagates I/O errors.
+/// Propagates I/O errors as [`CoreError::Io`].
 pub fn write_matrix_csv(matrix: &Matrix, mut out: impl Write) -> Result<()> {
-    let io_err = |e: std::io::Error| CoreError::InvalidConfig(format!("io error: {e}"));
     let (n, m) = matrix.shape();
     let mut header = String::from("sector");
     for j in 0..m {
         header.push_str(&format!(",t{j}"));
     }
-    writeln!(out, "{header}").map_err(io_err)?;
+    writeln!(out, "{header}")?;
     for i in 0..n {
         let mut line = i.to_string();
         for &v in matrix.row(i) {
@@ -159,7 +157,7 @@ pub fn write_matrix_csv(matrix: &Matrix, mut out: impl Write) -> Result<()> {
                 line.push_str(&format!(",{v}"));
             }
         }
-        writeln!(out, "{line}").map_err(io_err)?;
+        writeln!(out, "{line}")?;
     }
     Ok(())
 }
@@ -169,25 +167,24 @@ pub fn write_matrix_csv(matrix: &Matrix, mut out: impl Write) -> Result<()> {
 /// # Errors
 /// Rejects malformed input (see [`read_tensor_csv`] semantics).
 pub fn read_matrix_csv(input: impl BufRead) -> Result<Matrix> {
-    let io_err = |e: std::io::Error| CoreError::InvalidConfig(format!("io error: {e}"));
     let mut lines = input.lines();
     let header = lines
         .next()
-        .ok_or_else(|| CoreError::InvalidConfig("empty csv".into()))?
-        .map_err(io_err)?;
+        .ok_or_else(|| CoreError::InvalidData("empty csv".into()))?
+        ?;
     let m = header.split(',').count() - 1;
     if m == 0 {
-        return Err(CoreError::InvalidConfig("matrix csv needs data columns".into()));
+        return Err(CoreError::InvalidData("matrix csv needs data columns".into()));
     }
     let mut data: Vec<(usize, Vec<f64>)> = Vec::new();
     for (lineno, line) in lines.enumerate() {
-        let line = line.map_err(io_err)?;
+        let line = line?;
         if line.trim().is_empty() {
             continue;
         }
         let fields: Vec<&str> = line.split(',').collect();
         if fields.len() != m + 1 {
-            return Err(CoreError::InvalidConfig(format!(
+            return Err(CoreError::InvalidData(format!(
                 "line {}: {} fields, expected {}",
                 lineno + 2,
                 fields.len(),
@@ -195,7 +192,7 @@ pub fn read_matrix_csv(input: impl BufRead) -> Result<Matrix> {
             )));
         }
         let i: usize = fields[0].trim().parse().map_err(|_| {
-            CoreError::InvalidConfig(format!("line {}: bad sector '{}'", lineno + 2, fields[0]))
+            CoreError::InvalidData(format!("line {}: bad sector '{}'", lineno + 2, fields[0]))
         })?;
         let mut row = Vec::with_capacity(m);
         for f in &fields[1..] {
@@ -204,7 +201,7 @@ pub fn read_matrix_csv(input: impl BufRead) -> Result<Matrix> {
                 row.push(f64::NAN);
             } else {
                 row.push(t.parse().map_err(|_| {
-                    CoreError::InvalidConfig(format!("line {}: bad value '{t}'", lineno + 2))
+                    CoreError::InvalidData(format!("line {}: bad value '{t}'", lineno + 2))
                 })?);
             }
         }
@@ -212,7 +209,7 @@ pub fn read_matrix_csv(input: impl BufRead) -> Result<Matrix> {
     }
     let n = data.iter().map(|(i, _)| i + 1).max().unwrap_or(0);
     if data.len() != n {
-        return Err(CoreError::InvalidConfig(format!("{} rows for {n} sectors", data.len())));
+        return Err(CoreError::InvalidData(format!("{} rows for {n} sectors", data.len())));
     }
     let mut matrix = Matrix::filled(n, m, f64::NAN);
     for (i, row) in data {

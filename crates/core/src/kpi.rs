@@ -70,6 +70,21 @@ pub struct KpiDef {
     pub degraded: f64,
 }
 
+impl KpiDef {
+    /// Physically plausible value range for this indicator: the
+    /// nominal→degraded span widened by 75% of its width on each
+    /// side. Synthetic measurements carry additive noise with
+    /// σ = 2% of the span, so clean readings sit ~37σ inside these
+    /// bounds, while unit-scale errors (×1000) and spike glitches
+    /// land far outside. Used by the `validate` firewall.
+    pub fn physical_range(&self) -> (f64, f64) {
+        let lo = self.nominal.min(self.degraded);
+        let hi = self.nominal.max(self.degraded);
+        let slack = 0.75 * (hi - lo).max(f64::EPSILON);
+        (lo - slack, hi + slack)
+    }
+}
+
 /// The full 21-indicator catalogue.
 #[derive(Debug, Clone)]
 pub struct KpiCatalog {

@@ -32,6 +32,7 @@ pub mod missing;
 pub mod pipeline;
 pub mod score;
 pub mod tensor;
+pub mod validate;
 
 pub use calendar::{Calendar, CalendarConfig, Date};
 pub use error::{CoreError, Result};
@@ -43,6 +44,7 @@ pub use missing::{fraction_missing, sector_filter_mask, MissingStats};
 pub use pipeline::{ScorePipeline, ScoredNetwork};
 pub use score::{raw_scores, ScoreConfig};
 pub use tensor::Tensor3;
+pub use validate::{screen, FirewallConfig, FirewallReport};
 
 /// Hours per day (`δᵈ` in the paper).
 pub const HOURS_PER_DAY: usize = 24;

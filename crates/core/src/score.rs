@@ -136,8 +136,7 @@ impl ScoreConfig {
     pub fn score_frame(&self, frame: &[f64]) -> f64 {
         debug_assert_eq!(frame.len(), self.weights.len());
         let mut s = 0.0;
-        for k in 0..self.weights.len() {
-            let v = frame[k];
+        for (k, &v) in frame.iter().enumerate().take(self.weights.len()) {
             if v.is_nan() {
                 continue;
             }

@@ -223,8 +223,8 @@ impl Tensor3 {
         }
         let kept = mask.iter().filter(|&&b| b).count();
         let mut data = Vec::with_capacity(kept * self.m * self.l);
-        for i in 0..self.n {
-            if mask[i] {
+        for (i, &keep) in mask.iter().enumerate().take(self.n) {
+            if keep {
                 data.extend_from_slice(self.sector(i));
             }
         }

@@ -1,0 +1,319 @@
+//! Data-quality firewall for ingested KPI tensors.
+//!
+//! Field exports from live OSS counters arrive with a long tail of
+//! corruption the score pipeline must never see: sensors that freeze
+//! and report the same reading for days (stuck-at), transient spike
+//! glitches (±∞ or absurd magnitudes), and unit-scale errors where an
+//! aggregation step reports kbps as Mbps. [`screen`] inspects every
+//! sector against the [`KpiCatalog`](crate::kpi::KpiCatalog)'s
+//! physical ranges and flags offenders for quarantine.
+//!
+//! Quarantine is **reported, never silent**: the caller receives a
+//! [`FirewallReport`] listing each sector's verdict and the concrete
+//! anomalies behind it, and decides whether to drop the sectors (via
+//! [`FirewallReport::keep_mask`] +
+//! [`Tensor3::retain_sectors`](crate::tensor::Tensor3::retain_sectors))
+//! or abort ingestion.
+//!
+//! `NaN` cells are *not* anomalies — they are the legal missing-value
+//! encoding handled downstream by imputation (see [`crate::missing`]).
+
+use crate::error::{CoreError, Result};
+use crate::kpi::KpiCatalog;
+use crate::tensor::Tensor3;
+
+/// Thresholds for the firewall checks.
+#[derive(Debug, Clone)]
+pub struct FirewallConfig {
+    /// Consecutive bit-identical non-missing readings of a single KPI
+    /// that mark a sector stuck-at. Real counters carry measurement
+    /// noise, so even a short run of exactly repeated values is
+    /// suspicious; a day of them is conclusive.
+    pub stuck_run_hours: usize,
+    /// Readings outside the indicator's physical range tolerated per
+    /// sector before quarantine. A couple of stray cells can be a
+    /// transient export artifact; more is a systematic fault.
+    pub max_range_violations: usize,
+    /// Non-finite (±∞) readings tolerated per sector. Infinities are
+    /// arithmetic poison, so the default tolerates none.
+    pub max_nonfinite: usize,
+}
+
+impl Default for FirewallConfig {
+    fn default() -> Self {
+        FirewallConfig { stuck_run_hours: 24, max_range_violations: 2, max_nonfinite: 0 }
+    }
+}
+
+/// One concrete data-quality defect found in a sector.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Anomaly {
+    /// `±∞` readings on this sector.
+    NonFinite {
+        /// How many cells were non-finite.
+        count: usize,
+        /// First offending `(hour, kpi)` cell.
+        first: (usize, usize),
+    },
+    /// Finite readings outside the indicator's physical range.
+    OutOfRange {
+        /// How many cells violated their KPI's range.
+        count: usize,
+        /// First offending `(hour, kpi)` cell.
+        first: (usize, usize),
+        /// The value at that first cell.
+        value: f64,
+    },
+    /// A KPI repeated the same bit-identical value for too long.
+    StuckAt {
+        /// KPI index `k` with the longest frozen run.
+        kpi: usize,
+        /// Hour the run starts.
+        start: usize,
+        /// Run length in hours.
+        run: usize,
+        /// The frozen value.
+        value: f64,
+    },
+}
+
+/// Verdict for one sector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SectorVerdict {
+    /// Sector index `i`.
+    pub sector: usize,
+    /// Defects found; empty means the sector is clean.
+    pub anomalies: Vec<Anomaly>,
+}
+
+impl SectorVerdict {
+    /// Whether this sector should be quarantined.
+    pub fn quarantined(&self) -> bool {
+        !self.anomalies.is_empty()
+    }
+}
+
+/// Outcome of screening a tensor: one verdict per sector.
+#[derive(Debug, Clone)]
+pub struct FirewallReport {
+    /// Per-sector verdicts, indexed by sector.
+    pub verdicts: Vec<SectorVerdict>,
+}
+
+impl FirewallReport {
+    /// Indices of quarantined sectors.
+    pub fn quarantined(&self) -> Vec<usize> {
+        self.verdicts.iter().filter(|v| v.quarantined()).map(|v| v.sector).collect()
+    }
+
+    /// Number of quarantined sectors.
+    pub fn n_quarantined(&self) -> usize {
+        self.verdicts.iter().filter(|v| v.quarantined()).count()
+    }
+
+    /// `true` for sectors that passed, suitable for
+    /// [`Tensor3::retain_sectors`](crate::tensor::Tensor3::retain_sectors).
+    pub fn keep_mask(&self) -> Vec<bool> {
+        self.verdicts.iter().map(|v| !v.quarantined()).collect()
+    }
+
+    /// One-line human summary (`"quarantined 3/120 sectors"`).
+    pub fn summary(&self) -> String {
+        format!("quarantined {}/{} sectors", self.n_quarantined(), self.verdicts.len())
+    }
+}
+
+/// Screen a KPI tensor against the catalogue's physical ranges.
+///
+/// Runs three checks per sector: non-finite cells, finite cells
+/// outside [`KpiDef::physical_range`](crate::kpi::KpiDef::physical_range),
+/// and stuck-at runs of bit-identical readings. `NaN` cells are
+/// skipped (missing is legal) and break stuck-at runs only when the
+/// value resumes *different* — a frozen counter that keeps reporting
+/// through an outage window still counts as one run.
+///
+/// # Errors
+///
+/// [`CoreError::DimensionMismatch`] when the tensor's KPI axis does
+/// not match the catalogue.
+pub fn screen(
+    kpis: &Tensor3,
+    catalog: &KpiCatalog,
+    config: &FirewallConfig,
+) -> Result<FirewallReport> {
+    if kpis.n_features() != catalog.len() {
+        return Err(CoreError::DimensionMismatch(format!(
+            "tensor has {} KPIs, catalogue has {}",
+            kpis.n_features(),
+            catalog.len()
+        )));
+    }
+    let ranges: Vec<(f64, f64)> = catalog.defs().iter().map(|d| d.physical_range()).collect();
+
+    let mut verdicts = Vec::with_capacity(kpis.n_sectors());
+    for i in 0..kpis.n_sectors() {
+        let mut nonfinite = 0usize;
+        let mut first_nonfinite = (0, 0);
+        let mut out_of_range = 0usize;
+        let mut first_oor = (0, 0);
+        let mut first_oor_value = 0.0;
+        let mut worst_stuck: Option<(usize, usize, usize, f64)> = None; // (kpi, start, run, value)
+
+        for (k, &(lo, hi)) in ranges.iter().enumerate().take(kpis.n_features()) {
+            // Current run of bit-identical non-NaN readings.
+            let mut run_value = f64::NAN;
+            let mut run_start = 0usize;
+            let mut run_len = 0usize;
+            for j in 0..kpis.n_time() {
+                let v = kpis.get(i, j, k);
+                if v.is_nan() {
+                    continue; // missing: legal, and does not break a frozen run
+                }
+                if !v.is_finite() {
+                    if nonfinite == 0 {
+                        first_nonfinite = (j, k);
+                    }
+                    nonfinite += 1;
+                    run_len = 0;
+                    run_value = f64::NAN;
+                    continue;
+                }
+                if v < lo || v > hi {
+                    if out_of_range == 0 {
+                        first_oor = (j, k);
+                        first_oor_value = v;
+                    }
+                    out_of_range += 1;
+                }
+                if v.to_bits() == run_value.to_bits() {
+                    run_len += 1;
+                } else {
+                    run_value = v;
+                    run_start = j;
+                    run_len = 1;
+                }
+                if run_len >= config.stuck_run_hours
+                    && worst_stuck.is_none_or(|(_, _, r, _)| run_len > r)
+                {
+                    worst_stuck = Some((k, run_start, run_len, run_value));
+                }
+            }
+        }
+
+        let mut anomalies = Vec::new();
+        if nonfinite > config.max_nonfinite {
+            anomalies.push(Anomaly::NonFinite { count: nonfinite, first: first_nonfinite });
+        }
+        if out_of_range > config.max_range_violations {
+            anomalies.push(Anomaly::OutOfRange {
+                count: out_of_range,
+                first: first_oor,
+                value: first_oor_value,
+            });
+        }
+        if let Some((kpi, start, run, value)) = worst_stuck {
+            anomalies.push(Anomaly::StuckAt { kpi, start, run, value });
+        }
+        verdicts.push(SectorVerdict { sector: i, anomalies });
+    }
+    Ok(FirewallReport { verdicts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kpi::KpiCatalog;
+
+    /// Clean tensor: every cell carries cell-unique noise inside the
+    /// nominal→degraded span.
+    fn clean(n: usize, m: usize) -> Tensor3 {
+        let catalog = KpiCatalog::standard();
+        Tensor3::from_fn(n, m, catalog.len(), |i, j, k| {
+            let d = &catalog.defs()[k];
+            let frac = ((i * 31 + j * 7 + k * 3) % 97) as f64 / 96.0;
+            d.nominal + (d.degraded - d.nominal) * frac
+        })
+    }
+
+    #[test]
+    fn clean_tensor_passes() {
+        let kpis = clean(8, 72);
+        let report = screen(&kpis, &KpiCatalog::standard(), &FirewallConfig::default()).unwrap();
+        assert_eq!(report.n_quarantined(), 0, "{:?}", report.quarantined());
+        assert!(report.keep_mask().iter().all(|&b| b));
+    }
+
+    #[test]
+    fn infinity_quarantines() {
+        let mut kpis = clean(4, 48);
+        kpis.set(2, 10, 5, f64::INFINITY);
+        let report = screen(&kpis, &KpiCatalog::standard(), &FirewallConfig::default()).unwrap();
+        assert_eq!(report.quarantined(), vec![2]);
+        assert!(matches!(
+            report.verdicts[2].anomalies[0],
+            Anomaly::NonFinite { count: 1, first: (10, 5) }
+        ));
+    }
+
+    #[test]
+    fn out_of_range_needs_more_than_tolerance() {
+        let mut kpis = clean(4, 48);
+        // Two stray cells: tolerated.
+        kpis.set(1, 3, 6, 1.0e6);
+        kpis.set(1, 9, 6, 1.0e6);
+        let report = screen(&kpis, &KpiCatalog::standard(), &FirewallConfig::default()).unwrap();
+        assert_eq!(report.n_quarantined(), 0);
+        // A third pushes past the default tolerance.
+        kpis.set(1, 20, 6, 1.0e6);
+        let report = screen(&kpis, &KpiCatalog::standard(), &FirewallConfig::default()).unwrap();
+        assert_eq!(report.quarantined(), vec![1]);
+    }
+
+    #[test]
+    fn stuck_run_quarantines_and_survives_nan_gaps() {
+        let mut kpis = clean(4, 72);
+        // Freeze KPI 9 on sector 3 for 30 hours with a missing gap in
+        // the middle; the frozen run must still be detected.
+        for j in 20..50 {
+            kpis.set(3, j, 9, 7.25);
+        }
+        for j in 30..35 {
+            kpis.set(3, j, 9, f64::NAN);
+        }
+        let report = screen(&kpis, &KpiCatalog::standard(), &FirewallConfig::default()).unwrap();
+        assert_eq!(report.quarantined(), vec![3]);
+        match report.verdicts[3].anomalies[0] {
+            Anomaly::StuckAt { kpi, run, value, .. } => {
+                assert_eq!(kpi, 9);
+                assert!(run >= 24, "run {run}");
+                assert_eq!(value, 7.25);
+            }
+            ref other => panic!("expected StuckAt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nan_cells_are_not_anomalies() {
+        let mut kpis = clean(3, 48);
+        for j in 0..48 {
+            kpis.set(0, j, 2, f64::NAN);
+        }
+        let report = screen(&kpis, &KpiCatalog::standard(), &FirewallConfig::default()).unwrap();
+        assert_eq!(report.n_quarantined(), 0);
+    }
+
+    #[test]
+    fn kpi_axis_mismatch_is_an_error() {
+        let kpis = Tensor3::from_fn(2, 24, 3, |_, _, _| 0.5);
+        let err = screen(&kpis, &KpiCatalog::standard(), &FirewallConfig::default());
+        assert!(matches!(err, Err(CoreError::DimensionMismatch(_))));
+    }
+
+    #[test]
+    fn report_summary_counts() {
+        let mut kpis = clean(5, 48);
+        kpis.set(0, 0, 0, f64::NEG_INFINITY);
+        let report = screen(&kpis, &KpiCatalog::standard(), &FirewallConfig::default()).unwrap();
+        assert_eq!(report.summary(), "quarantined 1/5 sectors");
+    }
+}

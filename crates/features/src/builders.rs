@@ -239,17 +239,8 @@ impl FeatureBuilder for HandCrafted {
             );
 
             // Extreme profiles.
-            for h in 0..24 {
-                out.push(if day_min[h].is_finite() { day_min[h] } else { whole[0] });
-            }
-            for h in 0..24 {
-                out.push(if day_max[h].is_finite() { day_max[h] } else { whole[0] });
-            }
-            for b in 0..7 {
-                out.push(if week_min[b].is_finite() { week_min[b] } else { whole[0] });
-            }
-            for b in 0..7 {
-                out.push(if week_max[b].is_finite() { week_max[b] } else { whole[0] });
+            for &v in day_min.iter().chain(&day_max).chain(&week_min).chain(&week_max) {
+                out.push(if v.is_finite() { v } else { whole[0] });
             }
 
             // Raw last day + its mean and std.
@@ -308,8 +299,8 @@ mod tests {
         let v = b.build(&x, 0, 14, 2);
         assert_eq!(v.len(), b.dim(3, 2));
         // Column 1 (constant 5): its 5·2 values occupy indices 10..20.
-        for idx in 10..20 {
-            assert_eq!(v[idx], 5.0);
+        for &p in &v[10..20] {
+            assert_eq!(p, 5.0);
         }
         assert_eq!(b.source_column(10, 3, 2), (1, 0));
     }

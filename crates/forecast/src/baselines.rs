@@ -119,8 +119,8 @@ mod tests {
         let c = ctx();
         let spec = WindowSpec::new(20, 3, 7);
         let p = persist_forecast(&c, &spec);
-        for i in 0..3 {
-            assert_eq!(p[i], c.target.get(i, 20));
+        for (i, &v) in p.iter().enumerate().take(3) {
+            assert_eq!(v, c.target.get(i, 20));
         }
     }
 

@@ -1,0 +1,411 @@
+//! Append-only sweep checkpoints.
+//!
+//! A checkpoint is a TSV journal: one header line binding the file to
+//! a specific [`SweepConfig`](crate::sweep::SweepConfig), then one
+//! line per finished cell, appended (and flushed) the moment the cell
+//! completes. The format is designed to be *crash-consistent* rather
+//! than transactional: a process killed mid-write leaves at most one
+//! torn trailing line, which loading tolerates (the cell simply reruns)
+//! and appending truncates before continuing. Anything else malformed —
+//! a corrupt interior line, a header for a different config — is a
+//! real error and refuses to resume rather than silently mixing runs.
+//!
+//! Floats are serialised with `{:?}` (Rust's shortest round-trip
+//! rendering), so a resumed record is bit-identical to the one the
+//! original run produced — the property the resume-equivalence test
+//! in `tests/fault_tolerance.rs` pins down.
+
+use crate::evaluate::EvalRecord;
+use crate::models::ModelSpec;
+use crate::sweep::{CellOutcome, SweepCell, SweepConfig};
+use hotspot_core::error::{CoreError, Result as CoreResult};
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+const MAGIC: &str = "# hotspot-sweep-checkpoint v1";
+
+/// FNV-1a over the config fields that determine cell outcomes.
+/// `n_threads` is deliberately excluded — a resume on a different
+/// machine shape is still the same sweep.
+fn fingerprint(config: &SweepConfig) -> u64 {
+    let identity = format!(
+        "{:?}|{:?}|{:?}|{:?}|{}|{}|{}|{}|{:?}",
+        config.models.iter().map(|m| m.name()).collect::<Vec<_>>(),
+        config.ts,
+        config.hs,
+        config.ws,
+        config.n_trees,
+        config.train_days,
+        config.random_repeats,
+        config.seed,
+        config.resilience,
+    );
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in identity.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\t', "\\t").replace('\n', "\\n").replace('\r', "\\r")
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('\\') => out.push('\\'),
+            other => {
+                out.push('\\');
+                if let Some(o) = other {
+                    out.push(o);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// One cell recovered from a checkpoint file.
+#[derive(Debug, Clone)]
+pub struct CheckpointEntry {
+    /// Model.
+    pub model: ModelSpec,
+    /// Evaluation day.
+    pub t: usize,
+    /// Horizon.
+    pub h: usize,
+    /// Window.
+    pub w: usize,
+    /// Recovered outcome.
+    pub outcome: CellOutcome,
+    /// Wall-clock of the original computation.
+    pub elapsed_ms: u64,
+    /// Attempts the original computation consumed.
+    pub attempts: u32,
+}
+
+impl CheckpointEntry {
+    /// Convert into a [`SweepCell`] flagged as resumed.
+    pub fn into_cell(self) -> SweepCell {
+        SweepCell {
+            model: self.model,
+            t: self.t,
+            h: self.h,
+            w: self.w,
+            outcome: self.outcome,
+            elapsed_ms: self.elapsed_ms,
+            attempts: self.attempts,
+            resumed: true,
+        }
+    }
+}
+
+fn render_line(cell: &SweepCell) -> String {
+    let mut cols = vec![
+        cell.model.name().to_string(),
+        cell.t.to_string(),
+        cell.h.to_string(),
+        cell.w.to_string(),
+        cell.outcome.status().to_string(),
+        cell.elapsed_ms.to_string(),
+        cell.attempts.to_string(),
+    ];
+    match &cell.outcome {
+        CellOutcome::Evaluated(r) => {
+            cols.push(format!("{:?}", r.ap));
+            cols.push(format!("{:?}", r.ap_random));
+            cols.push(format!("{:?}", r.lift));
+            cols.push(r.positives.to_string());
+            cols.push(r.evaluated.to_string());
+        }
+        CellOutcome::Empty | CellOutcome::TimedOut { .. } => {}
+        CellOutcome::Failed { error, .. } => cols.push(escape(error)),
+    }
+    cols.join("\t")
+}
+
+fn bad(line_no: usize, why: &str) -> CoreError {
+    CoreError::InvalidData(format!("checkpoint line {line_no}: {why}"))
+}
+
+fn parse_line(line: &str, line_no: usize) -> CoreResult<CheckpointEntry> {
+    let cols: Vec<&str> = line.split('\t').collect();
+    if cols.len() < 7 {
+        return Err(bad(line_no, "fewer than 7 columns"));
+    }
+    let model = ModelSpec::parse(cols[0])
+        .ok_or_else(|| bad(line_no, &format!("unknown model {:?}", cols[0])))?;
+    let usize_col = |i: usize, name: &str| -> CoreResult<usize> {
+        cols[i].parse().map_err(|_| bad(line_no, &format!("bad {name} {:?}", cols[i])))
+    };
+    let f64_col = |i: usize, name: &str| -> CoreResult<f64> {
+        cols[i].parse().map_err(|_| bad(line_no, &format!("bad {name} {:?}", cols[i])))
+    };
+    let t = usize_col(1, "t")?;
+    let h = usize_col(2, "h")?;
+    let w = usize_col(3, "w")?;
+    let elapsed_ms = usize_col(5, "elapsed_ms")? as u64;
+    let attempts = usize_col(6, "attempts")? as u32;
+    let outcome = match cols[4] {
+        "eval" => {
+            if cols.len() != 12 {
+                return Err(bad(line_no, "eval rows need 12 columns"));
+            }
+            CellOutcome::Evaluated(EvalRecord {
+                ap: f64_col(7, "ap")?,
+                ap_random: f64_col(8, "ap_random")?,
+                lift: f64_col(9, "lift")?,
+                positives: usize_col(10, "positives")?,
+                evaluated: usize_col(11, "evaluated")?,
+            })
+        }
+        "empty" => CellOutcome::Empty,
+        "timeout" => CellOutcome::TimedOut { elapsed_ms, attempts },
+        "failed" => {
+            if cols.len() != 8 {
+                return Err(bad(line_no, "failed rows need 8 columns"));
+            }
+            CellOutcome::Failed { error: unescape(cols[7]), elapsed_ms, attempts }
+        }
+        other => return Err(bad(line_no, &format!("unknown status {other:?}"))),
+    };
+    Ok(CheckpointEntry { model, t, h, w, outcome, elapsed_ms, attempts })
+}
+
+/// Load the cells journaled in `path`.
+///
+/// A missing file is an empty checkpoint (fresh run). A torn final
+/// line — no trailing newline, as a crash mid-append leaves — is
+/// dropped, not an error; that cell simply reruns. Corrupt *complete*
+/// lines and config-fingerprint mismatches are errors.
+pub fn load_checkpoint(path: &Path, config: &SweepConfig) -> CoreResult<Vec<CheckpointEntry>> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e.into()),
+    };
+    let complete = match text.rfind('\n') {
+        Some(end) => &text[..end],
+        None => return Err(CoreError::InvalidData("checkpoint has no complete header".into())),
+    };
+    let mut lines = complete.split('\n');
+    let header = lines.next().unwrap_or("");
+    let expected = format!("{MAGIC} fingerprint={:016x}", fingerprint(config));
+    if header != expected {
+        return Err(CoreError::InvalidData(format!(
+            "checkpoint header mismatch: found {header:?}, expected {expected:?} — \
+             this checkpoint belongs to a different sweep configuration"
+        )));
+    }
+    let mut entries = Vec::new();
+    for (i, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        entries.push(parse_line(line, i + 2)?);
+    }
+    Ok(entries)
+}
+
+/// Appends finished cells to a checkpoint file, creating it (with its
+/// config-fingerprint header) when absent. Safe to share across sweep
+/// worker threads; every line is written and flushed atomically with
+/// respect to the other workers.
+pub struct CheckpointWriter {
+    file: Mutex<File>,
+}
+
+impl CheckpointWriter {
+    /// Open `path` for appending. An existing file is first truncated
+    /// back to its last complete line, discarding a torn tail from an
+    /// earlier crash.
+    pub fn open(path: &Path, config: &SweepConfig) -> CoreResult<Self> {
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+        let mut existing = String::new();
+        file.read_to_string(&mut existing)?;
+        if existing.is_empty() {
+            let header = format!("{MAGIC} fingerprint={:016x}\n", fingerprint(config));
+            file.write_all(header.as_bytes())?;
+        } else {
+            // Keep everything through the final newline; a torn tail
+            // (crash mid-append) is overwritten by the next cell.
+            let keep = existing.rfind('\n').map(|i| i + 1).unwrap_or(0) as u64;
+            file.set_len(keep)?;
+            file.seek(SeekFrom::Start(keep))?;
+        }
+        file.flush()?;
+        Ok(CheckpointWriter { file: Mutex::new(file) })
+    }
+
+    /// Journal one finished cell.
+    pub fn append(&self, cell: &SweepCell) -> CoreResult<()> {
+        let line = format!("{}\n", render_line(cell));
+        let mut file = self.file.lock();
+        file.write_all(line.as_bytes())?;
+        file.flush()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::ResiliencePolicy;
+
+    fn config() -> SweepConfig {
+        SweepConfig {
+            models: vec![ModelSpec::Average, ModelSpec::RfF1],
+            ts: vec![20, 24],
+            hs: vec![1],
+            ws: vec![3],
+            n_trees: 8,
+            train_days: 4,
+            random_repeats: 10,
+            seed: 3,
+            n_threads: Some(2),
+            resilience: ResiliencePolicy::default(),
+        }
+    }
+
+    fn cell(outcome: CellOutcome) -> SweepCell {
+        SweepCell {
+            model: ModelSpec::RfF1,
+            t: 20,
+            h: 1,
+            w: 3,
+            outcome,
+            elapsed_ms: 17,
+            attempts: 2,
+            resumed: false,
+        }
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("hotspot-checkpoint-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn round_trips_every_outcome() {
+        let path = tmp("round_trip.tsv");
+        let _ = std::fs::remove_file(&path);
+        let cfg = config();
+        let outcomes = vec![
+            CellOutcome::Evaluated(EvalRecord {
+                ap: 0.1 + 0.2, // deliberately non-representable exactly
+                ap_random: 0.3333333333333333,
+                lift: f64::INFINITY.min(2.5e-300),
+                positives: 3,
+                evaluated: 16,
+            }),
+            CellOutcome::Empty,
+            CellOutcome::Failed { error: "panic\twith\ttabs\nand newlines".into(), elapsed_ms: 17, attempts: 2 },
+            CellOutcome::TimedOut { elapsed_ms: 17, attempts: 2 },
+        ];
+        let writer = CheckpointWriter::open(&path, &cfg).unwrap();
+        for o in &outcomes {
+            writer.append(&cell(o.clone())).unwrap();
+        }
+        drop(writer);
+        let loaded = load_checkpoint(&path, &cfg).unwrap();
+        assert_eq!(loaded.len(), outcomes.len());
+        for (entry, expected) in loaded.iter().zip(&outcomes) {
+            assert_eq!(&entry.outcome, expected);
+            assert_eq!(entry.elapsed_ms, 17);
+            assert_eq!(entry.attempts, 2);
+            assert!(entry.clone().into_cell().resumed);
+        }
+    }
+
+    #[test]
+    fn missing_file_is_empty_checkpoint() {
+        let path = tmp("never_created.tsv");
+        let _ = std::fs::remove_file(&path);
+        assert!(load_checkpoint(&path, &config()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped_on_load_and_truncated_on_append() {
+        let path = tmp("torn.tsv");
+        let _ = std::fs::remove_file(&path);
+        let cfg = config();
+        let writer = CheckpointWriter::open(&path, &cfg).unwrap();
+        writer.append(&cell(CellOutcome::Empty)).unwrap();
+        drop(writer);
+        // Simulate a crash mid-append: a partial record, no newline.
+        let mut raw = std::fs::read_to_string(&path).unwrap();
+        raw.push_str("RF-F1\t24\t1\t3\tev");
+        std::fs::write(&path, &raw).unwrap();
+
+        let loaded = load_checkpoint(&path, &cfg).unwrap();
+        assert_eq!(loaded.len(), 1, "torn tail must be ignored");
+
+        // Reopening for append truncates the tail so new lines parse.
+        let writer = CheckpointWriter::open(&path, &cfg).unwrap();
+        writer.append(&cell(CellOutcome::Empty)).unwrap();
+        drop(writer);
+        assert_eq!(load_checkpoint(&path, &cfg).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn corrupt_interior_line_is_an_error() {
+        let path = tmp("corrupt.tsv");
+        let _ = std::fs::remove_file(&path);
+        let cfg = config();
+        let writer = CheckpointWriter::open(&path, &cfg).unwrap();
+        writer.append(&cell(CellOutcome::Empty)).unwrap();
+        drop(writer);
+        let mut raw = std::fs::read_to_string(&path).unwrap();
+        raw.push_str("not\ta\tvalid\trecord\n");
+        raw.push_str("Average\t24\t1\t3\tempty\t0\t1\n");
+        std::fs::write(&path, &raw).unwrap();
+        assert!(matches!(load_checkpoint(&path, &cfg), Err(CoreError::InvalidData(_))));
+    }
+
+    #[test]
+    fn different_config_refuses_to_resume() {
+        let path = tmp("fingerprint.tsv");
+        let _ = std::fs::remove_file(&path);
+        let cfg = config();
+        drop(CheckpointWriter::open(&path, &cfg).unwrap());
+        let mut other = config();
+        other.seed = 99;
+        let err = load_checkpoint(&path, &other).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidData(_)), "{err:?}");
+        // Same config, new writer: still fine.
+        assert!(load_checkpoint(&path, &cfg).unwrap().is_empty());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_fingerprint() {
+        let a = config();
+        let mut b = config();
+        b.n_threads = None;
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        let mut c = config();
+        c.seed = 4;
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+    }
+
+    #[test]
+    fn escape_round_trips() {
+        for s in ["plain", "tab\tnl\ncr\rback\\slash", "\\t literal", ""] {
+            assert_eq!(unescape(&escape(s)), s);
+        }
+    }
+}

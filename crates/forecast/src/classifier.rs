@@ -15,9 +15,12 @@ use hotspot_features::builders::{DailyPercentiles, FeatureBuilder, HandCrafted, 
 use hotspot_features::windows::{forecast_window_days, train_window_days, WindowSpec};
 use hotspot_core::matrix::Matrix;
 use hotspot_trees::{
-    Dataset, DecisionTree, GradientBoosting, GradientBoostingParams, RandomForest,
+    CancelToken, Dataset, DecisionTree, GradientBoosting, GradientBoostingParams, RandomForest,
     RandomForestParams, TreeParams,
 };
+
+/// Boxed scoring closure mapping a feature row to a probability.
+type PredictFn = Box<dyn Fn(&[f64]) -> f64>;
 
 /// Which estimator backs the classifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -70,6 +73,10 @@ pub struct ClassifierConfig {
     /// Sweep runners set 1 because they already parallelise across
     /// grid cells.
     pub forest_threads: Option<usize>,
+    /// Cooperative cancellation for ensemble fitting. The sweep runner
+    /// installs a deadline token here; callers that do not need one
+    /// leave it `None`.
+    pub cancel: Option<CancelToken>,
 }
 
 impl ClassifierConfig {
@@ -82,6 +89,7 @@ impl ClassifierConfig {
             train_days: 1,
             seed: 0,
             forest_threads: None,
+            cancel: None,
         }
     }
 }
@@ -237,7 +245,7 @@ pub fn fit_and_forecast(
     let n_train = data.n_samples();
     let n_train_pos = (0..n_train).filter(|&i| data.label(i)).count();
 
-    let predict: Box<dyn Fn(&[f64]) -> f64>;
+    let predict: PredictFn;
     let importances: Vec<f64>;
     match config.kind {
         ClassifierKind::Tree => {
@@ -260,6 +268,7 @@ pub fn fit_and_forecast(
                 .with_seed(config.seed)
                 .with_trees(config.n_trees.max(1));
             params.n_threads = config.forest_threads;
+            params.cancel = config.cancel.clone();
             params.tree.min_weight_fraction = min_frac;
             let forest = RandomForest::fit(&data, &params);
             importances = forest.feature_importances().to_vec();
@@ -271,6 +280,7 @@ pub fn fit_and_forecast(
                 &GradientBoostingParams {
                     n_rounds: config.n_trees.max(1),
                     seed: config.seed,
+                    cancel: config.cancel.clone(),
                     ..Default::default()
                 },
             );
@@ -340,6 +350,7 @@ mod tests {
             train_days: 3,
             seed: 5,
             forest_threads: Some(2),
+            cancel: None,
         }
     }
 

@@ -46,13 +46,13 @@ pub fn evaluate_day(
 
     let mut labels = Vec::with_capacity(ctx.n_sectors());
     let mut scores = Vec::with_capacity(ctx.n_sectors());
-    for i in 0..ctx.n_sectors() {
+    for (i, &p) in predictions.iter().enumerate().take(ctx.n_sectors()) {
         let y = ctx.target.get(i, day);
         if y.is_nan() {
             continue;
         }
         labels.push(y >= 0.5);
-        scores.push(predictions[i]);
+        scores.push(p);
     }
     let positives = labels.iter().filter(|&&b| b).count();
     if positives == 0 || labels.is_empty() {
@@ -113,13 +113,15 @@ mod tests {
         let spec = WindowSpec::new(10, 2, 7);
         // Predict exactly the truth at day 12.
         let preds: Vec<f64> = (0..16).map(|i| if i < 3 { 1.0 } else { 0.0 }).collect();
-        let rec = evaluate_day(&c, &spec, &preds, 20, 1).unwrap();
+        let rec = evaluate_day(&c, &spec, &preds, 200, 1).unwrap();
         assert!((rec.ap - 1.0).abs() < 1e-12);
         assert_eq!(rec.positives, 3);
         assert_eq!(rec.evaluated, 16);
-        // Random reference near prevalence 3/16.
-        assert!((rec.ap_random - 3.0 / 16.0).abs() < 0.15, "{}", rec.ap_random);
-        assert!(rec.lift > 3.0);
+        // For 3 positives among 16 sectors the expected AP of a random
+        // ranking is ≈ 0.316 (well above the 3/16 prevalence — small-
+        // sample AP is biased upward). 200 repeats give SE ≈ 0.011.
+        assert!((rec.ap_random - 0.316).abs() < 0.06, "{}", rec.ap_random);
+        assert!(rec.lift > 2.5);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! runner over the `(model, t, h, w)` grid of Table III.
 
 pub mod baselines;
+pub mod checkpoint;
 pub mod classifier;
 pub mod context;
 pub mod evaluate;
@@ -19,4 +20,8 @@ pub use classifier::{ClassifierConfig, ClassifierKind, FittedClassifier};
 pub use context::{ForecastContext, Target};
 pub use evaluate::{evaluate_day, EvalRecord};
 pub use models::ModelSpec;
-pub use sweep::{SweepConfig, SweepResult, TableIIIGrid};
+pub use checkpoint::{load_checkpoint, CheckpointWriter};
+pub use sweep::{
+    run_sweep, run_sweep_resumable, CellOutcome, FaultPlan, ResiliencePolicy, SweepCell,
+    SweepConfig, SweepHealth, SweepResult, TableIIIGrid,
+};

@@ -58,6 +58,22 @@ impl ModelSpec {
         }
     }
 
+    /// Inverse of [`name`](Self::name), for checkpoint round-trips.
+    pub fn parse(name: &str) -> Option<ModelSpec> {
+        let all = [
+            ModelSpec::Random,
+            ModelSpec::Persist,
+            ModelSpec::Average,
+            ModelSpec::Trend,
+            ModelSpec::Tree,
+            ModelSpec::RfR,
+            ModelSpec::RfF1,
+            ModelSpec::RfF2,
+            ModelSpec::Gbdt,
+        ];
+        all.into_iter().find(|m| m.name() == name)
+    }
+
     /// Whether this is one of the classifier-based models (solid lines
     /// in Figs. 9 and 11).
     pub fn is_classifier(self) -> bool {
@@ -77,7 +93,15 @@ impl ModelSpec {
             ModelSpec::Gbdt => (ClassifierKind::Gbdt, Representation::Percentiles),
             _ => return None,
         };
-        Some(ClassifierConfig { kind, representation, n_trees, train_days, seed, forest_threads: None })
+        Some(ClassifierConfig {
+            kind,
+            representation,
+            n_trees,
+            train_days,
+            seed,
+            forest_threads: None,
+            cancel: None,
+        })
     }
 
     /// Run the model at `(t, h, w)` and return per-sector ranking
@@ -165,5 +189,13 @@ mod tests {
     #[test]
     fn display_matches_name() {
         assert_eq!(format!("{}", ModelSpec::RfF2), "RF-F2");
+    }
+
+    #[test]
+    fn parse_round_trips_every_model() {
+        for m in ModelSpec::PAPER.iter().chain([&ModelSpec::Gbdt]) {
+            assert_eq!(ModelSpec::parse(m.name()), Some(*m));
+        }
+        assert_eq!(ModelSpec::parse("nope"), None);
     }
 }

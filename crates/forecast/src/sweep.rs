@@ -1,12 +1,34 @@
 //! The `(model, t, h, w)` grid sweep of Table III, run in parallel
-//! across grid cells.
+//! across grid cells — resiliently.
+//!
+//! A Table III sweep is tens of thousands of independent fits; at that
+//! volume the question is not *whether* a cell will misbehave but what
+//! happens when one does. Each cell therefore runs under
+//! [`catch_unwind`](std::panic::catch_unwind): a panic becomes a
+//! structured [`CellOutcome::Failed`] instead of tearing down the
+//! scope and losing every other worker's results. Failed cells get a
+//! bounded number of retries with deterministic reseeding, cells can
+//! carry a cooperative soft deadline (see
+//! [`CancelToken`](hotspot_trees::CancelToken)), and the final
+//! [`SweepResult`] carries a [`SweepHealth`] triage report. The
+//! [`run_sweep_resumable`] variant additionally journals every
+//! completed cell to an append-only checkpoint so an interrupted sweep
+//! resumes where it stopped (see [`crate::checkpoint`]).
 
+use crate::checkpoint::{load_checkpoint, CheckpointWriter};
 use crate::classifier::fit_and_forecast;
 use crate::context::ForecastContext;
 use crate::evaluate::{evaluate_day, EvalRecord};
 use crate::models::ModelSpec;
+use hotspot_core::error::Result as CoreResult;
 use hotspot_features::windows::WindowSpec;
+use hotspot_trees::CancelToken;
 use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 /// The paper's Table III grid values.
 pub struct TableIIIGrid;
@@ -25,6 +47,92 @@ impl TableIIIGrid {
     /// `w ∈ {1, 2, 3, 5, 7, 10, 14, 21}`.
     pub fn ws() -> Vec<usize> {
         vec![1, 2, 3, 5, 7, 10, 14, 21]
+    }
+}
+
+/// Deterministic fault injection for exercising the resilient runner.
+///
+/// Whether a given cell faults is a pure function of `(seed, cell)` —
+/// never of wall-clock or scheduling — so fault-injected sweeps are
+/// exactly reproducible and checkpoint/resume equivalence holds under
+/// injected faults too.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Fraction of cells made to panic.
+    pub panic_fraction: f64,
+    /// When `true`, an injected panic fires only on the first attempt
+    /// (a transient fault the retry path should absorb); when `false`
+    /// the cell panics on every attempt and must surface as
+    /// [`CellOutcome::Failed`].
+    pub transient: bool,
+    /// Fraction of cells made to sleep `delay_ms` before working —
+    /// pair with a short `cell_deadline_ms` to exercise timeouts.
+    pub delay_fraction: f64,
+    /// Injected delay per affected cell.
+    pub delay_ms: u64,
+    /// Seed decorrelating the fault pattern from the sweep seed.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    fn cell_hash(&self, model: ModelSpec, t: usize, h: usize, w: usize, salt: u64) -> f64 {
+        let mut z = self.seed ^ salt;
+        for b in model.name().bytes() {
+            z = splitmix(z ^ b as u64);
+        }
+        z = splitmix(z ^ t as u64);
+        z = splitmix(z ^ (h as u64) << 20);
+        z = splitmix(z ^ (w as u64) << 40);
+        (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Apply the plan for one attempt: may sleep, may panic.
+    fn apply(&self, model: ModelSpec, t: usize, h: usize, w: usize, attempt: u32) {
+        if self.cell_hash(model, t, h, w, 0xDE1A) < self.delay_fraction {
+            std::thread::sleep(Duration::from_millis(self.delay_ms));
+        }
+        if self.cell_hash(model, t, h, w, 0xFA17) < self.panic_fraction
+            && (!self.transient || attempt == 1)
+        {
+            panic!("injected fault: {} t={t} h={h} w={w} attempt={attempt}", model.name());
+        }
+    }
+
+    /// Whether this plan panics the given cell on its first attempt.
+    pub fn panics(&self, model: ModelSpec, t: usize, h: usize, w: usize) -> bool {
+        self.cell_hash(model, t, h, w, 0xFA17) < self.panic_fraction
+    }
+
+    /// Whether this plan delays the given cell.
+    pub fn delays(&self, model: ModelSpec, t: usize, h: usize, w: usize) -> bool {
+        self.cell_hash(model, t, h, w, 0xDE1A) < self.delay_fraction
+    }
+}
+
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Fault-tolerance knobs for the sweep runner.
+#[derive(Debug, Clone)]
+pub struct ResiliencePolicy {
+    /// Attempts per cell before giving up (≥ 1). Retries reseed
+    /// deterministically, so a seed-dependent pathology in one fit
+    /// does not doom the cell.
+    pub max_attempts: u32,
+    /// Cooperative soft deadline per cell attempt, in milliseconds.
+    /// `None` disables deadlines.
+    pub cell_deadline_ms: Option<u64>,
+    /// Deterministic fault injection (tests and chaos drills only).
+    pub faults: Option<FaultPlan>,
+}
+
+impl Default for ResiliencePolicy {
+    fn default() -> Self {
+        ResiliencePolicy { max_attempts: 2, cell_deadline_ms: None, faults: None }
     }
 }
 
@@ -49,6 +157,8 @@ pub struct SweepConfig {
     pub seed: u64,
     /// Worker threads (`None` = available parallelism).
     pub n_threads: Option<usize>,
+    /// Fault-tolerance policy.
+    pub resilience: ResiliencePolicy,
 }
 
 impl SweepConfig {
@@ -65,11 +175,59 @@ impl SweepConfig {
             random_repeats: 15,
             seed: 0,
             n_threads: None,
+            resilience: ResiliencePolicy::default(),
         }
     }
 }
 
-/// One evaluated grid cell.
+/// What happened to one grid cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellOutcome {
+    /// The cell produced an evaluation.
+    Evaluated(EvalRecord),
+    /// Legitimately empty: the window did not fit, or the target day
+    /// had no positive labels.
+    Empty,
+    /// Every attempt panicked; `error` is the final panic payload.
+    Failed {
+        /// Rendered panic payload.
+        error: String,
+        /// Wall-clock spent across all attempts (diagnostic only —
+        /// not compared across runs).
+        elapsed_ms: u64,
+        /// Attempts consumed.
+        attempts: u32,
+    },
+    /// The soft deadline fired before the attempt finished.
+    TimedOut {
+        /// Wall-clock spent (diagnostic only).
+        elapsed_ms: u64,
+        /// Attempts consumed.
+        attempts: u32,
+    },
+}
+
+impl CellOutcome {
+    /// The evaluation record, when one exists.
+    pub fn record(&self) -> Option<&EvalRecord> {
+        match self {
+            CellOutcome::Evaluated(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Short stable tag used by health summaries and checkpoints.
+    pub fn status(&self) -> &'static str {
+        match self {
+            CellOutcome::Evaluated(_) => "eval",
+            CellOutcome::Empty => "empty",
+            CellOutcome::Failed { .. } => "failed",
+            CellOutcome::TimedOut { .. } => "timeout",
+        }
+    }
+}
+
+/// One grid cell and its outcome.
 #[derive(Debug, Clone)]
 pub struct SweepCell {
     /// Model.
@@ -80,16 +238,97 @@ pub struct SweepCell {
     pub h: usize,
     /// Window.
     pub w: usize,
-    /// Evaluation outcome; `None` when the window did not fit or the
-    /// target day had no positive labels.
-    pub record: Option<EvalRecord>,
+    /// What happened.
+    pub outcome: CellOutcome,
+    /// Wall-clock the cell took (or, for resumed cells, took in the
+    /// original run).
+    pub elapsed_ms: u64,
+    /// Attempts consumed (1 = first try succeeded).
+    pub attempts: u32,
+    /// Whether the outcome was adopted from a checkpoint rather than
+    /// recomputed.
+    pub resumed: bool,
 }
 
-/// All evaluated cells of a sweep, with query helpers.
+impl SweepCell {
+    /// The evaluation record, when the cell evaluated.
+    pub fn record(&self) -> Option<&EvalRecord> {
+        self.outcome.record()
+    }
+}
+
+/// Triage summary of a sweep: how many cells landed in each outcome,
+/// and where the time went.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SweepHealth {
+    /// Cells that produced an evaluation.
+    pub evaluated: usize,
+    /// Cells legitimately empty (unfit window / no positives).
+    pub skipped: usize,
+    /// Cells that exhausted their attempts panicking.
+    pub errored: usize,
+    /// Cells stopped by the soft deadline.
+    pub timed_out: usize,
+    /// Cells whose first attempt failed but a retry succeeded.
+    pub retried: usize,
+    /// Cells adopted from a checkpoint.
+    pub resumed: usize,
+    /// The slowest cells, worst first: `(model, t, h, w, elapsed_ms)`.
+    pub slowest: Vec<(ModelSpec, usize, usize, usize, u64)>,
+}
+
+impl SweepHealth {
+    /// Number of slowest cells retained.
+    pub const SLOWEST_KEPT: usize = 5;
+
+    /// Build the report from finished cells.
+    pub fn from_cells(cells: &[SweepCell]) -> Self {
+        let mut health = SweepHealth::default();
+        for c in cells {
+            match c.outcome {
+                CellOutcome::Evaluated(_) => health.evaluated += 1,
+                CellOutcome::Empty => health.skipped += 1,
+                CellOutcome::Failed { .. } => health.errored += 1,
+                CellOutcome::TimedOut { .. } => health.timed_out += 1,
+            }
+            if c.attempts > 1 && c.outcome.record().is_some() {
+                health.retried += 1;
+            }
+            if c.resumed {
+                health.resumed += 1;
+            }
+        }
+        let mut by_time: Vec<&SweepCell> = cells.iter().filter(|c| !c.resumed).collect();
+        by_time.sort_by_key(|c| std::cmp::Reverse(c.elapsed_ms));
+        health.slowest = by_time
+            .into_iter()
+            .take(Self::SLOWEST_KEPT)
+            .map(|c| (c.model, c.t, c.h, c.w, c.elapsed_ms))
+            .collect();
+        health
+    }
+
+    /// Whether every cell either evaluated or was legitimately empty.
+    pub fn is_clean(&self) -> bool {
+        self.errored == 0 && self.timed_out == 0
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} evaluated, {} skipped, {} errored, {} timed out ({} retried, {} resumed)",
+            self.evaluated, self.skipped, self.errored, self.timed_out, self.retried, self.resumed
+        )
+    }
+}
+
+/// All cells of a sweep, with query helpers and a health report.
 #[derive(Debug, Clone, Default)]
 pub struct SweepResult {
-    /// Evaluated cells (order unspecified).
+    /// Finished cells (order unspecified).
     pub cells: Vec<SweepCell>,
+    /// Triage summary.
+    pub health: SweepHealth,
 }
 
 impl SweepResult {
@@ -98,7 +337,7 @@ impl SweepResult {
         self.cells
             .iter()
             .filter(|c| c.model == model && c.h == h && c.w == w)
-            .filter_map(|c| c.record.as_ref())
+            .filter_map(|c| c.record())
             .map(|r| r.lift)
             .filter(|l| l.is_finite())
             .collect()
@@ -119,7 +358,7 @@ impl SweepResult {
             .filter(|c| {
                 c.model == model && c.h == h && c.w == w && c.t >= t_range.0 && c.t <= t_range.1
             })
-            .filter_map(|c| c.record.as_ref())
+            .filter_map(|c| c.record())
             .map(|r| r.ap)
             .filter(|a| a.is_finite())
             .collect()
@@ -137,7 +376,7 @@ impl SweepResult {
             .cells
             .iter()
             .filter(|c| c.model == model && c.h == h)
-            .filter_map(|c| c.record.as_ref())
+            .filter_map(|c| c.record())
             .map(|r| r.lift)
             .filter(|l| l.is_finite())
             .collect();
@@ -146,14 +385,33 @@ impl SweepResult {
 
     /// Number of cells that produced an evaluation.
     pub fn n_evaluated(&self) -> usize {
-        self.cells.iter().filter(|c| c.record.is_some()).count()
+        self.cells.iter().filter(|c| c.record().is_some()).count()
     }
 }
 
-/// Run the sweep. Cells are independent, so they are distributed
-/// across worker threads; results land in one vector (order
-/// unspecified — the query helpers filter, they never index).
+/// Run the sweep in memory (no checkpoint). Panicking or overrunning
+/// cells degrade to structured outcomes; the sweep itself always
+/// completes.
 pub fn run_sweep(ctx: &ForecastContext, config: &SweepConfig) -> SweepResult {
+    run_sweep_resumable(ctx, config, None)
+        .expect("in-memory sweep performs no I/O and cannot fail")
+}
+
+/// Run the sweep, journaling each finished cell to `checkpoint` (when
+/// given). If the checkpoint file already exists its cells are adopted
+/// instead of recomputed, so re-running after an interruption finishes
+/// only the remainder — and, because cells are deterministic under the
+/// config seed, produces the same records an uninterrupted run would.
+///
+/// # Errors
+///
+/// Checkpoint I/O and validation errors (wrong config fingerprint,
+/// corrupt non-final lines). The sweep computation itself never errors.
+pub fn run_sweep_resumable(
+    ctx: &ForecastContext,
+    config: &SweepConfig,
+    checkpoint: Option<&Path>,
+) -> CoreResult<SweepResult> {
     let mut combos: Vec<(ModelSpec, usize, usize, usize)> = Vec::new();
     for &m in &config.models {
         for &t in &config.ts {
@@ -164,37 +422,72 @@ pub fn run_sweep(ctx: &ForecastContext, config: &SweepConfig) -> SweepResult {
             }
         }
     }
+
+    let mut done: HashMap<(ModelSpec, usize, usize, usize), SweepCell> = HashMap::new();
+    let writer = match checkpoint {
+        Some(path) => {
+            for entry in load_checkpoint(path, config)? {
+                done.insert((entry.model, entry.t, entry.h, entry.w), entry.into_cell());
+            }
+            Some(CheckpointWriter::open(path, config)?)
+        }
+        None => None,
+    };
+
     let threads = config
         .n_threads
         .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
         .clamp(1, combos.len().max(1));
     let results: Mutex<Vec<SweepCell>> = Mutex::new(Vec::with_capacity(combos.len()));
-    let next: Mutex<usize> = Mutex::new(0);
+    let write_error: Mutex<Option<hotspot_core::CoreError>> = Mutex::new(None);
+    let next = AtomicUsize::new(0);
 
     crossbeam::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|_| loop {
-                let idx = {
-                    let mut n = next.lock();
-                    let idx = *n;
-                    *n += 1;
-                    idx
-                };
+                let idx = next.fetch_add(1, Ordering::Relaxed);
                 if idx >= combos.len() {
                     break;
                 }
                 let (model, t, h, w) = combos[idx];
-                let cell = run_cell(ctx, config, model, t, h, w);
+                let cell = match done.get(&(model, t, h, w)) {
+                    Some(prev) => prev.clone(),
+                    None => {
+                        let cell = run_cell_resilient(ctx, config, model, t, h, w);
+                        if let Some(writer) = &writer {
+                            if let Err(e) = writer.append(&cell) {
+                                write_error.lock().get_or_insert(e);
+                            }
+                        }
+                        cell
+                    }
+                };
                 results.lock().push(cell);
             });
         }
     })
-    .expect("sweep worker panicked");
+    .expect("sweep worker panicked outside cell isolation");
 
-    SweepResult { cells: results.into_inner() }
+    if let Some(e) = write_error.into_inner() {
+        return Err(e);
+    }
+    let cells = results.into_inner();
+    let health = SweepHealth::from_cells(&cells);
+    Ok(SweepResult { cells, health })
 }
 
-fn run_cell(
+/// The seed a given attempt runs with: attempt 1 uses the configured
+/// seed unchanged (so resilient runs reproduce the original sweep),
+/// retries derive fresh-but-deterministic seeds.
+fn attempt_seed(seed: u64, attempt: u32) -> u64 {
+    if attempt <= 1 {
+        seed
+    } else {
+        splitmix(seed ^ (attempt as u64) << 32)
+    }
+}
+
+fn run_cell_resilient(
     ctx: &ForecastContext,
     config: &SweepConfig,
     model: ModelSpec,
@@ -202,22 +495,99 @@ fn run_cell(
     h: usize,
     w: usize,
 ) -> SweepCell {
+    let started = Instant::now();
+    let max_attempts = config.resilience.max_attempts.max(1);
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        let cancel = config
+            .resilience
+            .cell_deadline_ms
+            .map(|ms| CancelToken::with_deadline(Duration::from_millis(ms)));
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            run_cell_once(ctx, config, model, t, h, w, attempts, cancel.as_ref())
+        }));
+        let elapsed_ms = started.elapsed().as_millis() as u64;
+        match attempt {
+            Ok(record) => {
+                let outcome = if cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                    CellOutcome::TimedOut { elapsed_ms, attempts }
+                } else {
+                    match record {
+                        Some(r) => CellOutcome::Evaluated(r),
+                        None => CellOutcome::Empty,
+                    }
+                };
+                return SweepCell { model, t, h, w, outcome, elapsed_ms, attempts, resumed: false };
+            }
+            Err(payload) => {
+                if attempts >= max_attempts {
+                    let outcome = CellOutcome::Failed {
+                        error: panic_message(payload),
+                        elapsed_ms,
+                        attempts,
+                    };
+                    return SweepCell {
+                        model,
+                        t,
+                        h,
+                        w,
+                        outcome,
+                        elapsed_ms,
+                        attempts,
+                        resumed: false,
+                    };
+                }
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // a cell is its full coordinate tuple
+fn run_cell_once(
+    ctx: &ForecastContext,
+    config: &SweepConfig,
+    model: ModelSpec,
+    t: usize,
+    h: usize,
+    w: usize,
+    attempt: u32,
+    cancel: Option<&CancelToken>,
+) -> Option<EvalRecord> {
+    if let Some(plan) = &config.resilience.faults {
+        plan.apply(model, t, h, w, attempt);
+    }
     let spec = WindowSpec::new(t, h, w);
     if !spec.fits(ctx.n_days()) {
-        return SweepCell { model, t, h, w, record: None };
+        return None;
     }
+    let seed = attempt_seed(config.seed, attempt);
     let predictions = if model.is_classifier() {
         let mut cc = model
-            .classifier_config(config.n_trees, config.train_days, config.seed)
+            .classifier_config(config.n_trees, config.train_days, seed)
             .expect("classifier");
         cc.forest_threads = Some(1); // the sweep already parallelises
+        cc.cancel = cancel.cloned();
         fit_and_forecast(ctx, &spec, &cc).map(|f| f.predictions)
     } else {
-        model.forecast(ctx, &spec, config.n_trees, config.train_days, config.seed)
+        model.forecast(ctx, &spec, config.n_trees, config.train_days, seed)
     };
-    let record = predictions
-        .and_then(|p| evaluate_day(ctx, &spec, &p, config.random_repeats, config.seed));
-    SweepCell { model, t, h, w, record }
+    if cancel.is_some_and(|c| c.is_cancelled()) {
+        // The deadline fired mid-fit; whatever came back is a partial
+        // ensemble's opinion, so the caller records a timeout instead.
+        return None;
+    }
+    predictions.and_then(|p| evaluate_day(ctx, &spec, &p, config.random_repeats, seed))
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -255,6 +625,7 @@ mod tests {
             random_repeats: 10,
             seed: 3,
             n_threads: Some(2),
+            resilience: ResiliencePolicy::default(),
         }
     }
 
@@ -273,6 +644,8 @@ mod tests {
         let result = run_sweep(&c, &small_sweep(vec![ModelSpec::Random, ModelSpec::Average]));
         assert_eq!(result.cells.len(), 2 * 3 * 2 * 2);
         assert!(result.n_evaluated() > 0);
+        assert!(result.health.is_clean());
+        assert_eq!(result.health.evaluated, result.n_evaluated());
         let (random_lift, _) = result.mean_lift(ModelSpec::Random, 1, 7);
         let (average_lift, _) = result.mean_lift(ModelSpec::Average, 1, 7);
         assert!(
@@ -302,6 +675,7 @@ mod tests {
         let result = run_sweep(&c, &config);
         assert_eq!(result.n_evaluated(), 0);
         assert!(result.lifts(ModelSpec::Average, 1, 7).is_empty());
+        assert_eq!(result.health.skipped, result.cells.len());
     }
 
     #[test]
@@ -322,5 +696,98 @@ mod tests {
         let a = run_sweep(&c, &cfg);
         let b = run_sweep(&c, &cfg);
         assert_eq!(a.mean_lift(ModelSpec::RfF1, 3, 7), b.mean_lift(ModelSpec::RfF1, 3, 7));
+    }
+
+    #[test]
+    fn persistent_panics_become_failed_cells_not_crashes() {
+        let c = ctx();
+        let mut cfg = small_sweep(vec![ModelSpec::Average]);
+        cfg.resilience.faults = Some(FaultPlan {
+            panic_fraction: 0.4,
+            transient: false,
+            delay_fraction: 0.0,
+            delay_ms: 0,
+            seed: 1,
+        });
+        let result = run_sweep(&c, &cfg);
+        assert_eq!(result.cells.len(), 12, "sweep must still cover the grid");
+        assert!(result.health.errored > 0, "{}", result.health.summary());
+        let failed = result
+            .cells
+            .iter()
+            .find(|cell| matches!(cell.outcome, CellOutcome::Failed { .. }))
+            .unwrap();
+        match &failed.outcome {
+            CellOutcome::Failed { error, attempts, .. } => {
+                assert!(error.contains("injected fault"), "{error}");
+                assert_eq!(*attempts, cfg.resilience.max_attempts);
+            }
+            _ => unreachable!(),
+        }
+        // Healthy cells still evaluated.
+        assert!(result.health.evaluated > 0);
+    }
+
+    #[test]
+    fn transient_panics_are_absorbed_by_retry() {
+        let c = ctx();
+        let mut cfg = small_sweep(vec![ModelSpec::Average]);
+        cfg.resilience.faults = Some(FaultPlan {
+            panic_fraction: 0.4,
+            transient: true,
+            delay_fraction: 0.0,
+            delay_ms: 0,
+            seed: 1,
+        });
+        let result = run_sweep(&c, &cfg);
+        assert_eq!(result.health.errored, 0, "{}", result.health.summary());
+        assert!(result.health.retried > 0, "{}", result.health.summary());
+        // Fault-injected runs are themselves deterministic.
+        let again = run_sweep(&c, &cfg);
+        for (a, b) in result.cells.iter().zip(&again.cells) {
+            // Order is scheduling-dependent; compare via lookup.
+            let matching = again
+                .cells
+                .iter()
+                .find(|x| x.model == a.model && x.t == a.t && x.h == a.h && x.w == a.w)
+                .unwrap();
+            assert_eq!(a.outcome, matching.outcome);
+            let _ = b;
+        }
+    }
+
+    #[test]
+    fn deadline_turns_slow_cells_into_timeouts() {
+        let c = ctx();
+        let mut cfg = small_sweep(vec![ModelSpec::Average]);
+        cfg.resilience.cell_deadline_ms = Some(30);
+        cfg.resilience.faults = Some(FaultPlan {
+            panic_fraction: 0.0,
+            transient: false,
+            delay_fraction: 0.3,
+            delay_ms: 120,
+            seed: 2,
+        });
+        let result = run_sweep(&c, &cfg);
+        assert!(result.health.timed_out > 0, "{}", result.health.summary());
+        assert!(result.health.evaluated > 0, "{}", result.health.summary());
+        let slow = result
+            .cells
+            .iter()
+            .find(|cell| matches!(cell.outcome, CellOutcome::TimedOut { .. }))
+            .unwrap();
+        assert!(slow.elapsed_ms >= 30, "elapsed {}", slow.elapsed_ms);
+    }
+
+    #[test]
+    fn health_tracks_slowest_cells() {
+        let c = ctx();
+        let result = run_sweep(&c, &small_sweep(vec![ModelSpec::Average, ModelSpec::RfF1]));
+        assert!(!result.health.slowest.is_empty());
+        assert!(result.health.slowest.len() <= SweepHealth::SLOWEST_KEPT);
+        // Worst first.
+        for pair in result.health.slowest.windows(2) {
+            assert!(pair[0].4 >= pair[1].4);
+        }
     }
 }

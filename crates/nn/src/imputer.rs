@@ -461,10 +461,10 @@ mod tests {
         for i in 0..6 {
             for j in 0..64 {
                 for k in 0..2 {
-                    if !(i == 0 && j == 10 && k == 0)
-                        && !(i == 3 && j == 20 && k == 1)
-                        && !(i == 5 && j == 63 && k == 0)
-                    {
+                    let corrupted = (i == 0 && j == 10 && k == 0)
+                        || (i == 3 && j == 20 && k == 1)
+                        || (i == 5 && j == 63 && k == 0);
+                    if !corrupted {
                         assert_eq!(t.get(i, j, k), orig.get(i, j, k));
                     }
                 }

@@ -1,0 +1,309 @@
+//! Data-corruption injection: ground truth for the ingest firewall.
+//!
+//! Live OSS counter exports fail in characteristic ways that are
+//! *not* missingness: counters freeze and repeat one reading for days
+//! (stuck-at), transient glitches produce ±∞ or absurd magnitudes
+//! (spikes), and aggregation bugs report the wrong unit for a stretch
+//! of hours (kbps vs Mbps — a ×1000 scale error). This module injects
+//! those faults into a synthetic tensor and returns a per-fault log,
+//! so [`hotspot_core::validate::screen`] can be evaluated against
+//! known ground truth exactly as [`crate::missing`] serves imputation.
+//!
+//! A separate pair of helpers corrupts CSV *text* ([`duplicate_rows`],
+//! [`truncate_tail`]) to exercise reader-level defenses: duplicated
+//! export rows and torn final lines from interrupted transfers.
+
+use crate::rng::{stage_rng, tags};
+use hotspot_core::tensor::Tensor3;
+use rand::RngExt;
+
+/// Rates and shapes of injected corruption.
+#[derive(Debug, Clone)]
+pub struct CorruptionConfig {
+    /// Fraction of sectors given a stuck-at fault.
+    pub stuck_fraction: f64,
+    /// Length of the frozen run in hours. Must exceed the firewall's
+    /// `stuck_run_hours` for the fault to be detectable.
+    pub stuck_hours: usize,
+    /// Fraction of sectors given spike glitches.
+    pub spike_fraction: f64,
+    /// Spikes injected per affected sector. The first spike is always
+    /// `+∞` so a spiked sector is detectable even if the remaining
+    /// (finite) spikes collide on one cell.
+    pub spikes_per_sector: usize,
+    /// Fraction of sectors given a unit-scale error on one KPI.
+    pub scale_fraction: f64,
+    /// Multiplier applied during the scale error (×1000 ≈ a kbps/Mbps
+    /// confusion).
+    pub scale_factor: f64,
+    /// Duration of the scale error in hours.
+    pub scale_hours: usize,
+}
+
+impl Default for CorruptionConfig {
+    fn default() -> Self {
+        CorruptionConfig {
+            stuck_fraction: 0.04,
+            stuck_hours: 48,
+            spike_fraction: 0.04,
+            spikes_per_sector: 5,
+            scale_fraction: 0.03,
+            scale_factor: 1000.0,
+            scale_hours: 36,
+        }
+    }
+}
+
+/// The shape of one injected fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CorruptionKind {
+    /// KPI `kpi` frozen at `value` for `hours` starting at `start`.
+    StuckAt {
+        /// Affected KPI index.
+        kpi: usize,
+        /// First frozen hour.
+        start: usize,
+        /// Frozen run length.
+        hours: usize,
+        /// The repeated reading.
+        value: f64,
+    },
+    /// Spike glitches scattered over the sector.
+    Spikes {
+        /// Number of spiked cells.
+        count: usize,
+    },
+    /// KPI `kpi` multiplied by `factor` for `hours` starting at `start`.
+    UnitScale {
+        /// Affected KPI index.
+        kpi: usize,
+        /// First scaled hour.
+        start: usize,
+        /// Scaled run length.
+        hours: usize,
+        /// The erroneous multiplier.
+        factor: f64,
+    },
+}
+
+/// Ground truth for one injected fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorruptionRecord {
+    /// Affected sector `i`.
+    pub sector: usize,
+    /// What was done to it.
+    pub kind: CorruptionKind,
+}
+
+/// Applies a [`CorruptionConfig`] to a tensor.
+#[derive(Debug, Clone)]
+pub struct CorruptionInjector {
+    config: CorruptionConfig,
+    seed: u64,
+}
+
+impl CorruptionInjector {
+    /// Create an injector.
+    pub fn new(config: CorruptionConfig, seed: u64) -> Self {
+        CorruptionInjector { config, seed }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CorruptionConfig {
+        &self.config
+    }
+
+    /// Corrupt the tensor in place; returns one record per injected
+    /// fault (a sector can carry several). Deterministic under seed.
+    pub fn inject_with_log(&self, kpis: &mut Tensor3) -> Vec<CorruptionRecord> {
+        let mut rng = stage_rng(self.seed, tags::CORRUPTION);
+        let (n, m, l) = kpis.shape();
+        let mut log = Vec::new();
+        if m == 0 || l == 0 {
+            return log;
+        }
+
+        for i in 0..n {
+            if rng.random::<f64>() < self.config.stuck_fraction {
+                let hours = self.config.stuck_hours.min(m);
+                let start = rng.random_range(0..(m - hours + 1));
+                let kpi = rng.random_range(0..l);
+                // Freeze at the first finite reading of the series — a
+                // real frozen counter repeats its last good value, and
+                // keeps reporting straight through outage windows.
+                let value = (0..m)
+                    .map(|j| kpis.get(i, j, kpi))
+                    .find(|v| v.is_finite())
+                    .unwrap_or(1.0);
+                for j in start..start + hours {
+                    kpis.set(i, j, kpi, value);
+                }
+                log.push(CorruptionRecord {
+                    sector: i,
+                    kind: CorruptionKind::StuckAt { kpi, start, hours, value },
+                });
+            }
+            if rng.random::<f64>() < self.config.spike_fraction {
+                let count = self.config.spikes_per_sector.max(1);
+                for s in 0..count {
+                    let j = rng.random_range(0..m);
+                    let k = rng.random_range(0..l);
+                    let v = match s {
+                        0 => f64::INFINITY,
+                        1 => f64::NEG_INFINITY,
+                        _ => {
+                            if rng.random::<bool>() {
+                                1.0e12
+                            } else {
+                                -1.0e12
+                            }
+                        }
+                    };
+                    kpis.set(i, j, k, v);
+                }
+                log.push(CorruptionRecord { sector: i, kind: CorruptionKind::Spikes { count } });
+            }
+            if rng.random::<f64>() < self.config.scale_fraction {
+                let hours = self.config.scale_hours.min(m);
+                let start = rng.random_range(0..(m - hours + 1));
+                let kpi = rng.random_range(0..l);
+                let factor = self.config.scale_factor;
+                for j in start..start + hours {
+                    let v = kpis.get(i, j, kpi);
+                    if v.is_finite() {
+                        kpis.set(i, j, kpi, v * factor);
+                    }
+                }
+                log.push(CorruptionRecord {
+                    sector: i,
+                    kind: CorruptionKind::UnitScale { kpi, start, hours, factor },
+                });
+            }
+        }
+        log
+    }
+
+    /// Sectors touched by at least one fault, deduplicated and sorted.
+    pub fn inject(&self, kpis: &mut Tensor3) -> Vec<usize> {
+        let mut sectors: Vec<usize> =
+            self.inject_with_log(kpis).iter().map(|r| r.sector).collect();
+        sectors.dedup();
+        sectors
+    }
+}
+
+/// Duplicate `n_dups` random data rows of a CSV export (header kept
+/// first), emulating a feed that replays rows. The result still parses
+/// line-by-line but must be *rejected* by
+/// [`hotspot_core::io::read_tensor_csv`]'s duplicate check.
+pub fn duplicate_rows(csv: &str, n_dups: usize, seed: u64) -> String {
+    let mut lines: Vec<&str> = csv.lines().collect();
+    if lines.len() < 2 || n_dups == 0 {
+        return csv.to_string();
+    }
+    let mut rng = stage_rng(seed, tags::CORRUPTION);
+    for _ in 0..n_dups {
+        let pick = rng.random_range(1..lines.len());
+        let at = rng.random_range(1..lines.len() + 1);
+        let row = lines[pick];
+        lines.insert(at, row);
+    }
+    let mut out = lines.join("\n");
+    out.push('\n');
+    out
+}
+
+/// Cut `drop_bytes` bytes off the end of a CSV export, emulating a
+/// transfer torn mid-line. Robust loaders must either reject the torn
+/// line or (for append-only checkpoints) ignore it.
+pub fn truncate_tail(csv: &str, drop_bytes: usize) -> String {
+    let keep = csv.len().saturating_sub(drop_bytes);
+    // Avoid splitting a UTF-8 sequence; CSV here is ASCII but stay safe.
+    let mut end = keep;
+    while end > 0 && !csv.is_char_boundary(end) {
+        end -= 1;
+    }
+    csv[..end].to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_tensor(n: usize, m: usize, l: usize) -> Tensor3 {
+        Tensor3::from_fn(n, m, l, |i, j, k| {
+            0.5 + ((i * 131 + j * 17 + k * 5) % 101) as f64 * 1e-3
+        })
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = noisy_tensor(60, 300, 7);
+        let mut b = noisy_tensor(60, 300, 7);
+        let la = CorruptionInjector::new(CorruptionConfig::default(), 9).inject_with_log(&mut a);
+        let lb = CorruptionInjector::new(CorruptionConfig::default(), 9).inject_with_log(&mut b);
+        assert_eq!(la, lb);
+        assert!(a.bit_eq(&b));
+    }
+
+    #[test]
+    fn default_rates_touch_some_sectors() {
+        let mut t = noisy_tensor(200, 400, 7);
+        let log = CorruptionInjector::new(CorruptionConfig::default(), 4).inject_with_log(&mut t);
+        assert!(!log.is_empty(), "no faults injected");
+        // All three kinds appear at these sizes.
+        assert!(log.iter().any(|r| matches!(r.kind, CorruptionKind::StuckAt { .. })));
+        assert!(log.iter().any(|r| matches!(r.kind, CorruptionKind::Spikes { .. })));
+        assert!(log.iter().any(|r| matches!(r.kind, CorruptionKind::UnitScale { .. })));
+    }
+
+    #[test]
+    fn stuck_runs_are_bit_identical() {
+        let mut t = noisy_tensor(50, 200, 5);
+        let log = CorruptionInjector::new(CorruptionConfig::default(), 2).inject_with_log(&mut t);
+        let stuck = log
+            .iter()
+            .find_map(|r| match r.kind {
+                CorruptionKind::StuckAt { kpi, start, hours, value } => {
+                    Some((r.sector, kpi, start, hours, value))
+                }
+                _ => None,
+            })
+            .expect("no stuck fault at these rates");
+        let (i, k, start, hours, value) = stuck;
+        for j in start..start + hours {
+            assert_eq!(t.get(i, j, k).to_bits(), value.to_bits());
+        }
+    }
+
+    #[test]
+    fn zero_rates_leave_tensor_untouched() {
+        let mut t = noisy_tensor(30, 100, 4);
+        let orig = t.clone();
+        let cfg = CorruptionConfig {
+            stuck_fraction: 0.0,
+            spike_fraction: 0.0,
+            scale_fraction: 0.0,
+            ..CorruptionConfig::default()
+        };
+        let log = CorruptionInjector::new(cfg, 1).inject_with_log(&mut t);
+        assert!(log.is_empty());
+        assert!(t.bit_eq(&orig));
+    }
+
+    #[test]
+    fn duplicate_rows_inserts_copies() {
+        let csv = "sector,hour,kpi_0\n0,0,1.0\n0,1,2.0\n1,0,3.0\n1,1,4.0\n";
+        let out = duplicate_rows(csv, 3, 7);
+        assert_eq!(out.lines().count(), 8);
+        assert!(out.starts_with("sector,hour,kpi_0\n"));
+    }
+
+    #[test]
+    fn truncate_tail_tears_final_line() {
+        let csv = "a,b\n1,2\n3,4\n";
+        let torn = truncate_tail(csv, 3);
+        assert_eq!(torn, "a,b\n1,2\n3");
+        assert_eq!(truncate_tail(csv, 1000), "");
+    }
+}

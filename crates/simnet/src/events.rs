@@ -235,10 +235,10 @@ impl EventEngine {
             // climbing towards onset.
             if let EventKind::HardwareFailure { severity, precursor_hours } = e.kind {
                 let lead = precursor_hours.min(e.start);
-                for j in e.start - lead..e.start {
-                    let progress = (j - (e.start - lead)) as f64 / lead.max(1) as f64;
+                for (off, f) in failure[e.start - lead..e.start].iter_mut().enumerate() {
+                    let progress = off as f64 / lead.max(1) as f64;
                     let ramp = 0.4 * severity * progress.powf(1.5);
-                    failure[j] = failure[j].max(ramp);
+                    *f = f.max(ramp);
                 }
             }
             for j in e.start..e.end.min(n_hours) {

@@ -29,6 +29,7 @@
 //!   Sec. II-C filter must discard.
 
 pub mod archetype;
+pub mod corruption;
 pub mod events;
 pub mod geography;
 pub mod kpigen;
@@ -38,6 +39,7 @@ pub mod rng;
 pub mod traffic;
 
 pub use archetype::Archetype;
+pub use corruption::{CorruptionConfig, CorruptionInjector, CorruptionRecord};
 pub use events::{Event, EventEngine, EventKind};
 pub use geography::{Geography, GeographyConfig, SectorSite};
 pub use kpigen::KpiGenerator;

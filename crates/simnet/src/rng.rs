@@ -20,6 +20,8 @@ pub mod tags {
     pub const KPI_NOISE: u64 = 4;
     /// Missing-value injection.
     pub const MISSING: u64 = 5;
+    /// Data-corruption injection (stuck-at, spikes, unit-scale).
+    pub const CORRUPTION: u64 = 6;
 }
 
 /// Deterministically derive a sub-seed from a master seed and a

@@ -1,0 +1,84 @@
+//! Cooperative cancellation for long-running fits.
+//!
+//! A [`CancelToken`] is a cheap, clonable handle checked at natural
+//! yield points inside ensemble fitting (between trees, between
+//! boosting rounds). It fires either explicitly via [`CancelToken::cancel`]
+//! or implicitly once a soft deadline passes — the sweep runner uses
+//! the latter to bound how long one grid cell may hog a worker without
+//! resorting to thread-killing (which Rust rightly does not offer).
+//!
+//! Cancellation is *cooperative*: fitters stop at the next check, so a
+//! deadline is a lower bound on reaction time, not a hard guarantee.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shared cancellation flag with an optional soft deadline.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that only fires when [`cancel`](Self::cancel)ed.
+    pub fn new() -> Self {
+        CancelToken { flag: Arc::new(AtomicBool::new(false)), deadline: None }
+    }
+
+    /// A token that additionally fires once `budget` elapses.
+    pub fn with_deadline(budget: Duration) -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Some(Instant::now() + budget),
+        }
+    }
+
+    /// Trip the token. All clones observe the cancellation.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether work should stop (explicitly cancelled, or past the
+    /// deadline).
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_clear_and_trips() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        t.cancel();
+        assert!(c.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_fires() {
+        let t = CancelToken::with_deadline(Duration::from_millis(0));
+        assert!(t.is_cancelled());
+        let far = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!far.is_cancelled());
+    }
+}

@@ -80,8 +80,8 @@ impl Dataset {
         }
         if let Some(pos) = features.iter().position(|v| !v.is_finite()) {
             return Err(DatasetError::NonFiniteFeature {
-                row: if n_features == 0 { 0 } else { pos / n_features },
-                col: if n_features == 0 { 0 } else { pos % n_features },
+                row: pos.checked_div(n_features).unwrap_or(0),
+                col: pos.checked_rem(n_features).unwrap_or(0),
             });
         }
         let weights = vec![1.0; n];

@@ -6,6 +6,7 @@
 //! probabilities (the soft-voting variant scikit-learn implements).
 //! Trees are fit in parallel with crossbeam scoped threads.
 
+use crate::cancel::CancelToken;
 use crate::dataset::Dataset;
 use crate::tree::{DecisionTree, TreeParams};
 use rand::rngs::StdRng;
@@ -26,6 +27,9 @@ pub struct RandomForestParams {
     pub seed: u64,
     /// Upper bound on fitting threads (`None` = available parallelism).
     pub n_threads: Option<usize>,
+    /// Cooperative cancellation, checked between trees. A cancelled
+    /// fit returns the trees completed so far (possibly none).
+    pub cancel: Option<CancelToken>,
 }
 
 impl RandomForestParams {
@@ -38,6 +42,7 @@ impl RandomForestParams {
             bootstrap: true,
             seed: 0,
             n_threads: None,
+            cancel: None,
         }
     }
 
@@ -96,6 +101,9 @@ impl RandomForest {
                 let chunk = params.n_trees.div_ceil(threads);
                 scope.spawn(move |_| {
                     for (off, slot) in shard.iter_mut().enumerate() {
+                        if params.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                            break;
+                        }
                         let t = shard_id * chunk + off;
                         *slot = Some(Self::fit_one(data, params, t as u64));
                     }
@@ -104,7 +112,9 @@ impl RandomForest {
         })
         .expect("forest fitting thread panicked");
 
-        let trees: Vec<DecisionTree> = trees.into_iter().map(|t| t.expect("tree fitted")).collect();
+        // A cancelled fit leaves trailing slots empty; keep whatever
+        // completed so the caller gets a usable (if weaker) ensemble.
+        let trees: Vec<DecisionTree> = trees.into_iter().flatten().collect();
         // Average per-tree importances.
         let mut importances = vec![0.0; data.n_features()];
         for t in &trees {
@@ -147,8 +157,13 @@ impl RandomForest {
         DecisionTree::fit(&boot, &tree_params)
     }
 
-    /// Mean positive-class probability over the ensemble.
+    /// Mean positive-class probability over the ensemble. A forest
+    /// cancelled before any tree completed has no opinion and returns
+    /// `0.5`.
     pub fn predict_proba(&self, row: &[f64]) -> f64 {
+        if self.trees.is_empty() {
+            return 0.5;
+        }
         let sum: f64 = self.trees.iter().map(|t| t.predict_proba(row)).sum();
         sum / self.trees.len() as f64
     }
@@ -274,6 +289,18 @@ mod tests {
             "forest {forest_acc} vs single tree {lone_acc}"
         );
         assert!(forest_acc > 0.8, "forest accuracy {forest_acc}");
+    }
+
+    #[test]
+    fn pre_cancelled_fit_returns_no_trees() {
+        use crate::cancel::CancelToken;
+        let d = blobs(7, 80);
+        let token = CancelToken::new();
+        token.cancel();
+        let params = RandomForestParams { cancel: Some(token), ..small_params(13) };
+        let f = RandomForest::fit(&d, &params);
+        assert!(f.trees().is_empty());
+        assert_eq!(f.predict_proba(&[0.0, 0.0]), 0.5);
     }
 
     #[test]

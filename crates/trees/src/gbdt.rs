@@ -9,6 +9,7 @@
 //! gradient of the log-loss and applies a Newton leaf step
 //! (`Σg / Σh`), the standard second-order formulation.
 
+use crate::cancel::CancelToken;
 use crate::dataset::Dataset;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -29,6 +30,9 @@ pub struct GradientBoostingParams {
     pub feature_fraction: f64,
     /// RNG seed for feature subsampling.
     pub seed: u64,
+    /// Cooperative cancellation, checked between rounds. A cancelled
+    /// fit keeps the rounds completed so far.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for GradientBoostingParams {
@@ -40,6 +44,7 @@ impl Default for GradientBoostingParams {
             min_samples_split: 8,
             feature_fraction: 0.8,
             seed: 0,
+            cancel: None,
         }
     }
 }
@@ -128,7 +133,7 @@ impl<'a> RegTreeBuilder<'a> {
                     continue;
                 }
                 let gain = Self::gain(gl, hl, total_g - gl, total_h - hl);
-                if best.map_or(true, |(_, _, g)| gain > g) && gain > 1e-12 {
+                if best.is_none_or(|(_, _, g)| gain > g) && gain > 1e-12 {
                     best = Some((f, 0.5 * (order[idx].0 + order[idx + 1].0), gain));
                 }
             }
@@ -179,6 +184,9 @@ impl GradientBoosting {
         let mut rng = StdRng::seed_from_u64(params.seed);
 
         for _round in 0..params.n_rounds {
+            if params.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                break;
+            }
             for i in 0..n {
                 let p = sigmoid(raw[i]);
                 let y = if data.label(i) { 1.0 } else { 0.0 };
@@ -190,8 +198,8 @@ impl GradientBoosting {
                 RegTreeBuilder { data, grad: &grad, hess: &hess, params, nodes: Vec::new() };
             builder.build(all.clone(), 0, &mut rng);
             let tree = RegTree { nodes: builder.nodes };
-            for i in 0..n {
-                raw[i] += params.learning_rate * tree.predict(data.row(i));
+            for (i, r) in raw.iter_mut().enumerate() {
+                *r += params.learning_rate * tree.predict(data.row(i));
             }
             trees.push(tree);
         }

@@ -89,7 +89,7 @@ pub fn best_split_on_feature(
         let imp_right = gini(right_pos / right_w);
         let decrease = total_w
             * (node_impurity - (left_w / total_w) * imp_left - (right_w / total_w) * imp_right);
-        if best.map_or(true, |b| decrease > b.decrease) {
+        if best.is_none_or(|b| decrease > b.decrease) {
             best = Some(SplitCandidate {
                 feature,
                 // Midpoint threshold, as CART implementations do.

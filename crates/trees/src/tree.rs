@@ -152,7 +152,7 @@ impl DecisionTree {
         let node_weight = data.subset_weight(&indices);
         let impurity = gini(proba);
 
-        let depth_ok = self.params.max_depth.map_or(true, |d| depth < d);
+        let depth_ok = self.params.max_depth.is_none_or(|d| depth < d);
         let stop = !depth_ok
             || node_weight < min_weight
             || impurity <= 0.0
@@ -167,7 +167,7 @@ impl DecisionTree {
         let mut best: Option<SplitCandidate> = None;
         for &f in feature_pool.iter().take(k) {
             if let Some(c) = best_split_on_feature(data, &indices, f, impurity, scratch) {
-                if best.map_or(true, |b| c.decrease > b.decrease) {
+                if best.is_none_or(|b| c.decrease > b.decrease) {
                     best = Some(c);
                 }
             }

@@ -79,6 +79,7 @@ fn main() {
         train_days: 10,
         seed: 3,
         forest_threads: None,
+        cancel: None,
     };
     let mut all_labels = Vec::new();
     let mut all_probs = Vec::new();

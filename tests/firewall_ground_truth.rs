@@ -1,0 +1,57 @@
+//! The data-quality firewall against the corruption injector's ground
+//! truth: every corrupted sector quarantined, ≥ 99% of clean sectors
+//! passed.
+
+use hotspot_core::validate::{screen, FirewallConfig};
+use hotspot_simnet::{CorruptionConfig, CorruptionInjector, NetworkConfig, SyntheticNetwork};
+use std::collections::BTreeSet;
+
+#[test]
+fn firewall_catches_injected_corruption_and_spares_clean_sectors() {
+    let config = NetworkConfig::small().with_sectors(160).with_weeks(3);
+    let mut network = SyntheticNetwork::generate(&config, 42);
+    let catalog = hotspot_core::kpi::KpiCatalog::standard();
+
+    let injector = CorruptionInjector::new(CorruptionConfig::default(), 7);
+    let log = injector.inject_with_log(network.kpis_mut());
+    let corrupted: BTreeSet<usize> = log.iter().map(|r| r.sector).collect();
+    assert!(!corrupted.is_empty(), "injector produced no faults; test is vacuous");
+
+    let report = screen(network.kpis(), &catalog, &FirewallConfig::default()).unwrap();
+    let quarantined: BTreeSet<usize> = report.quarantined().into_iter().collect();
+
+    // Recall: every corrupted sector must be caught.
+    let missed: Vec<usize> = corrupted.difference(&quarantined).copied().collect();
+    assert!(missed.is_empty(), "firewall missed corrupted sectors {missed:?}");
+
+    // Precision: ≥ 99% of clean sectors pass.
+    let n_clean = network.n_sectors() - corrupted.len();
+    let false_positives = quarantined.difference(&corrupted).count();
+    assert!(
+        (false_positives as f64) <= 0.01 * n_clean as f64,
+        "{false_positives} of {n_clean} clean sectors quarantined"
+    );
+}
+
+#[test]
+fn clean_network_passes_untouched() {
+    let config = NetworkConfig::small().with_sectors(80).with_weeks(2);
+    let network = SyntheticNetwork::generate(&config, 11);
+    let catalog = hotspot_core::kpi::KpiCatalog::standard();
+    let report = screen(network.kpis(), &catalog, &FirewallConfig::default()).unwrap();
+    assert_eq!(report.n_quarantined(), 0, "quarantined {:?}", report.quarantined());
+}
+
+#[test]
+fn quarantine_composes_with_retain_sectors() {
+    let config = NetworkConfig::small().with_sectors(60).with_weeks(2);
+    let mut network = SyntheticNetwork::generate(&config, 5);
+    let catalog = hotspot_core::kpi::KpiCatalog::standard();
+    CorruptionInjector::new(CorruptionConfig::default(), 3).inject_with_log(network.kpis_mut());
+    let report = screen(network.kpis(), &catalog, &FirewallConfig::default()).unwrap();
+    let kept = network.kpis().retain_sectors(&report.keep_mask()).unwrap();
+    assert_eq!(kept.n_sectors(), network.n_sectors() - report.n_quarantined());
+    // The surviving tensor screens clean.
+    let recheck = screen(&kept, &catalog, &FirewallConfig::default()).unwrap();
+    assert_eq!(recheck.n_quarantined(), 0);
+}

@@ -146,7 +146,7 @@ fn persist_baseline_shows_weekly_periodicity() {
     // regularity). Average over several evaluation days.
     let f = fixture(16, 220, 14);
     let ctx = ForecastContext::build(&f.kpis, &f.scored, Target::BeHotSpot).unwrap();
-    let mut lift = |h: usize| -> f64 {
+    let lift = |h: usize| -> f64 {
         let mut lifts = Vec::new();
         for t in [40usize, 47, 54, 61, 68, 75] {
             let spec = WindowSpec::new(t, h, 7);

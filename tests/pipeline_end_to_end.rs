@@ -62,6 +62,7 @@ fn informed_models_beat_random_in_a_mini_sweep() {
         random_repeats: 15,
         seed: 1,
         n_threads: Some(1),
+        resilience: Default::default(),
     };
     let result = run_sweep(&ctx, &sweep);
     assert!(result.n_evaluated() > 0);

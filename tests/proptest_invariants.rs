@@ -199,3 +199,106 @@ proptest! {
         prop_assert!(forest.feature_importances().iter().all(|&v| v >= 0.0));
     }
 }
+
+// Robustness properties: malformed external input must surface as
+// `Err`, never as a panic, and checkpoint loading must tolerate the
+// torn final line a crash mid-append leaves behind.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `read_tensor_csv` on a valid file mutated by the corruption
+    /// helpers (duplicated rows, truncated tail) returns a `Result` —
+    /// it must never panic, and a parse that does succeed must yield a
+    /// well-formed tensor.
+    #[test]
+    fn read_tensor_csv_survives_duplicated_and_truncated_input(
+        n_dups in 0usize..6,
+        drop_bytes in 0usize..500,
+        seed in 0u64..1000,
+    ) {
+        use hotspot::core::io::{read_tensor_csv, write_tensor_csv};
+        use hotspot::core::tensor::Tensor3;
+        use hotspot::simnet::corruption::{duplicate_rows, truncate_tail};
+        use std::io::BufReader;
+
+        let tensor = Tensor3::from_fn(3, 30, 2, |i, j, k| (i + j + k) as f64 * 0.5);
+        let mut buf = Vec::new();
+        write_tensor_csv(&tensor, &mut buf).unwrap();
+        let clean = String::from_utf8(buf).unwrap();
+        let mutated = truncate_tail(&duplicate_rows(&clean, n_dups, seed), drop_bytes);
+
+        if let Ok(parsed) = read_tensor_csv(BufReader::new(mutated.as_bytes())) {
+            prop_assert!(parsed.n_sectors() > 0);
+            prop_assert_eq!(parsed.n_features(), 2);
+        }
+        // An Err is equally acceptable; reaching here means no panic.
+    }
+
+    /// `read_tensor_csv` on arbitrary bytes returns without panicking.
+    #[test]
+    fn read_tensor_csv_survives_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..600),
+    ) {
+        use hotspot::core::io::read_tensor_csv;
+        use std::io::BufReader;
+        let _ = read_tensor_csv(BufReader::new(bytes.as_slice()));
+    }
+
+    /// Chopping any number of bytes off the checkpoint tail never
+    /// breaks loading, as long as the header line survives: complete
+    /// lines load, the torn one is dropped.
+    #[test]
+    fn checkpoint_load_tolerates_any_tail_truncation(
+        cut in 0usize..200,
+        n_cells in 1usize..6,
+    ) {
+        use hotspot::forecast::checkpoint::{load_checkpoint, CheckpointWriter};
+        use hotspot::forecast::models::ModelSpec;
+        use hotspot::forecast::sweep::{CellOutcome, ResiliencePolicy, SweepCell, SweepConfig};
+
+        let cfg = SweepConfig {
+            models: vec![ModelSpec::Average],
+            ts: vec![20],
+            hs: vec![1],
+            ws: vec![3],
+            n_trees: 4,
+            train_days: 2,
+            random_repeats: 5,
+            seed: 1,
+            n_threads: Some(1),
+            resilience: ResiliencePolicy::default(),
+        };
+        let dir = std::env::temp_dir().join("hotspot-proptest-checkpoint");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{}-torn.tsv", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let writer = CheckpointWriter::open(&path, &cfg).unwrap();
+        for t in 0..n_cells {
+            writer.append(&SweepCell {
+                model: ModelSpec::Average,
+                t: 20 + t,
+                h: 1,
+                w: 3,
+                outcome: CellOutcome::Empty,
+                elapsed_ms: 1,
+                attempts: 1,
+                resumed: false,
+            }).unwrap();
+        }
+        drop(writer);
+
+        let full = std::fs::read(&path).unwrap();
+        let header_len = full.iter().position(|&b| b == b'\n').unwrap() + 1;
+        // Keep the header's newline; cut anywhere in the cell lines.
+        let keep = full.len().saturating_sub(cut).max(header_len);
+        std::fs::write(&path, &full[..keep]).unwrap();
+
+        let entries = load_checkpoint(&path, &cfg).unwrap();
+        prop_assert!(entries.len() <= n_cells);
+        for e in &entries {
+            prop_assert_eq!(&e.outcome, &CellOutcome::Empty);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

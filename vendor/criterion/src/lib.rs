@@ -1,0 +1,152 @@
+//! Offline stand-in for `criterion`: the `criterion_group!` /
+//! `criterion_main!` / `Criterion::bench_function` surface the
+//! workspace's benches use, timing with `std::time::Instant` and
+//! printing mean/min per benchmark. No statistics beyond that — the
+//! point is that `cargo bench` compiles and produces usable numbers
+//! offline, not sub-nanosecond rigor.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers work; benches may also
+/// use `std::hint::black_box` directly.
+pub use std::hint::black_box;
+
+/// Bench configuration + runner.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20, measurement_time: Duration::from_secs(3) }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Upper bound on total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark closure `sample_size` times and report.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: Vec::with_capacity(self.sample_size) };
+        // One untimed warm-up pass.
+        f(&mut b);
+        b.samples.clear();
+        let started = Instant::now();
+        for _ in 0..self.sample_size {
+            f(&mut b);
+            if started.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+        let n = b.samples.len().max(1);
+        let total: Duration = b.samples.iter().sum();
+        let min = b.samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "bench {name}: mean {:?} / min {:?} over {} samples",
+            total / n as u32,
+            min,
+            b.samples.len()
+        );
+        self
+    }
+}
+
+/// Batch sizing hint, mirroring criterion's enum. The stub times each
+/// batch individually, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One invocation per batch.
+    PerIteration,
+}
+
+/// Passed to bench closures; times one routine invocation batch.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time one invocation of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.samples.push(start.elapsed());
+    }
+
+    /// Time `routine` on a fresh input from `setup`, excluding the
+    /// setup cost — the `iter_batched` surface of real criterion.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.samples.push(start.elapsed());
+    }
+}
+
+/// Define a bench group function, mirroring criterion's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)*
+        }
+    };
+}
+
+/// Define the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $($group();)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = trivial
+    }
+
+    #[test]
+    fn group_runs() {
+        benches();
+    }
+}

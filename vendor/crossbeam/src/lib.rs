@@ -1,0 +1,81 @@
+//! Offline stand-in for `crossbeam`, covering the scoped-thread API
+//! the workspace uses (`crossbeam::thread::scope` + `Scope::spawn`).
+//! Built on `std::thread::scope`; a panic in any spawned thread is
+//! reported as `Err(payload)` from `scope`, matching crossbeam's
+//! contract (std's scope would re-panic instead).
+
+/// Scoped threads.
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Result of a scope: `Err` carries the first panic payload.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// Handle for spawning threads inside a scope.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives the scope
+        /// again (crossbeam's signature) so it can spawn nested work.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Create a scope; all spawned threads are joined before it
+    /// returns. Returns `Err` with the panic payload if any spawned
+    /// thread (or the closure itself) panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let data = [1usize, 2, 3, 4];
+        let sum = std::sync::atomic::AtomicUsize::new(0);
+        super::thread::scope(|scope| {
+            for chunk in data.chunks(2) {
+                scope.spawn(|_| {
+                    sum.fetch_add(chunk.iter().sum::<usize>(), std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(sum.into_inner(), 10);
+    }
+
+    #[test]
+    fn panicking_thread_yields_err() {
+        let result = super::thread::scope(|scope| {
+            scope.spawn(|_| panic!("worker down"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_compiles() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        super::thread::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| flag.store(true, std::sync::atomic::Ordering::Relaxed));
+            });
+        })
+        .unwrap();
+        assert!(flag.into_inner());
+    }
+}

@@ -1,0 +1,345 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's
+//! property tests use: the [`proptest!`] macro (with an optional
+//! `#![proptest_config(...)]` header), `prop_assert!` /
+//! `prop_assert_eq!`, `any::<T>()`, numeric-range strategies, and
+//! `prop::collection::vec`. Sampling is **deterministic**: case `c`
+//! of test `name` always draws the same inputs, so a failure
+//! reproduces by re-running the test. No shrinking — the failing
+//! input is printed instead.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Test-runner plumbing used by the macros.
+pub mod test_runner {
+    /// Number of cases to run per property.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Cases sampled per property test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// A failed property assertion.
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Build a failure with the given message.
+        pub fn fail(message: String) -> Self {
+            TestCaseError(message)
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Deterministic per-case RNG: seeded from the test name and the
+    /// case index, so every run of the suite sees the same inputs.
+    pub fn case_rng(test_name: &str, case: u32) -> super::StdRng {
+        use rand::SeedableRng;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        super::StdRng::seed_from_u64(h ^ ((case as u64) << 32 | 0x5EED))
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.random()
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Mostly moderate magnitudes, occasionally special values —
+    /// enough to exercise numeric edge cases without shrinking.
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        match rng.random_range(0..16u32) {
+            0 => 0.0,
+            1 => f64::NAN,
+            2 => f64::INFINITY,
+            3 => f64::NEG_INFINITY,
+            _ => (rng.random::<f64>() - 0.5) * 2e6,
+        }
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.random()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy for `any::<T>()`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.start..self.end)
+            }
+        }
+    )*};
+}
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        self.start + (self.end - self.start) * rng.random::<f64>()
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::RngExt;
+
+    /// Length bounds for generated collections.
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    /// Strategy producing `Vec<S::Value>` with length in `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy over an element strategy and a length range.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.random_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, Arbitrary, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Module alias mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Define deterministic property tests. Mirrors proptest's surface:
+/// an optional `#![proptest_config(...)]` header followed by `fn
+/// name(pattern in strategy, ...) { body }` items (any item
+/// attributes, including `#[test]` and doc comments, are re-emitted).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal muncher for [`proptest!`] — one test function per step.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat_param in $strategy:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::case_rng(stringify!($name), case);
+                $(let $pat = $crate::Strategy::sample(&($strategy), &mut rng);)*
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body Ok(()) })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!("property failed at case {case}: {e}");
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// Assert inside a [`proptest!`] body; failure fails the case with
+/// the stringified condition (or a formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} == {:?}", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{}: {:?} != {:?}", format!($($fmt)*), l, r),
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} != {:?}", l, r),
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Doc comments and `#[test]` attributes pass through.
+        #[test]
+        fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn vec_lengths_respect_bounds(v in prop::collection::vec(any::<bool>(), 3..9)) {
+            prop_assert!(v.len() >= 3 && v.len() < 9, "len {} out of bounds", v.len());
+        }
+
+        #[test]
+        fn f64_ranges_bounded(x in -5.0f64..5.0) {
+            prop_assert!((-5.0..5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::test_runner::case_rng("t", 3);
+        let mut b = crate::test_runner::case_rng("t", 3);
+        let sa = crate::collection::vec(crate::any::<u64>(), 0..10).sample(&mut a);
+        let sb = crate::collection::vec(crate::any::<u64>(), 0..10).sample(&mut b);
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failing_property_panics() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn inner(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        inner();
+    }
+}
