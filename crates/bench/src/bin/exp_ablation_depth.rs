@@ -15,6 +15,7 @@ use hotspot_trees::{Dataset, DecisionTree, MaxFeatures, TreeParams};
 
 fn main() {
     let opts = RunOptions::from_env();
+    let _run = hotspot_bench::Experiment::start("ablation_depth", &opts);
     let prep = prepare(&opts);
     print_preamble("ablation_depth", &opts, &prep);
 

@@ -11,6 +11,7 @@ use hotspot_forecast::sweep::{run_sweep, SweepConfig};
 
 fn main() {
     let opts = RunOptions::from_env();
+    let _run = hotspot_bench::Experiment::start("ablation_features", &opts);
     let prep = prepare(&opts);
     print_preamble("ablation_features", &opts, &prep);
 

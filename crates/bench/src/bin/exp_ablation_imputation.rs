@@ -11,6 +11,7 @@ use hotspot_forecast::sweep::{run_sweep, SweepConfig};
 
 fn main() {
     let mut base = RunOptions::from_env();
+    let _run = hotspot_bench::Experiment::start("ablation_imputation", &base);
     if base.sectors == RunOptions::default().sectors {
         base.sectors = 100; // the AE leg is the bottleneck on one core
         base.weeks = base.weeks.min(10);

@@ -10,6 +10,7 @@ use hotspot_forecast::sweep::{run_sweep, SweepConfig};
 
 fn main() {
     let opts = RunOptions::from_env();
+    let _run = hotspot_bench::Experiment::start("ablation_ntrees", &opts);
     let prep = prepare(&opts);
     print_preamble("ablation_ntrees", &opts, &prep);
 

@@ -15,6 +15,7 @@ use hotspot_simnet::events::EventKind;
 
 fn main() {
     let opts = RunOptions::from_env();
+    let _run = hotspot_bench::Experiment::start("fig01_kpi_examples", &opts);
     let prep = prepare(&opts);
     print_preamble("fig01_kpi_examples", &opts, &prep);
 

@@ -8,6 +8,7 @@ use hotspot_bench::{prepare, RunOptions};
 
 fn main() {
     let opts = RunOptions::from_env();
+    let _run = hotspot_bench::Experiment::start("fig02_score_labels", &opts);
     let prep = prepare(&opts);
     print_preamble("fig02_score_labels", &opts, &prep);
 

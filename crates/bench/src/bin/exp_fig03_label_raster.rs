@@ -11,6 +11,7 @@ use rand::SeedableRng;
 
 fn main() {
     let opts = RunOptions::from_env();
+    let _run = hotspot_bench::Experiment::start("fig03_label_raster", &opts);
     let prep = prepare(&opts);
     print_preamble("fig03_label_raster", &opts, &prep);
 

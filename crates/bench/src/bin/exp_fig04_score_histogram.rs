@@ -8,6 +8,7 @@ use hotspot_eval::histogram::Histogram;
 
 fn main() {
     let opts = RunOptions::from_env();
+    let _run = hotspot_bench::Experiment::start("fig04_score_histogram", &opts);
     let prep = prepare(&opts);
     print_preamble("fig04_score_histogram", &opts, &prep);
 

@@ -12,6 +12,7 @@ use hotspot_nn::imputer::{
 
 fn main() {
     let mut opts = RunOptions::from_env();
+    let _run = hotspot_bench::Experiment::start("fig05_imputation", &opts);
     // This experiment evaluates imputers itself; the shared pipeline
     // just supplies the filtered network.
     opts.imputer = ImputerChoice::ForwardFill;

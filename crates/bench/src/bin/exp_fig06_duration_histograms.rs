@@ -24,6 +24,7 @@ fn print_hist(name: &str, unit: &str, counts: &[u64]) {
 
 fn main() {
     let opts = RunOptions::from_env();
+    let _run = hotspot_bench::Experiment::start("fig06_duration_histograms", &opts);
     let prep = prepare(&opts);
     print_preamble("fig06_duration_histograms", &opts, &prep);
 

@@ -18,6 +18,7 @@ fn print_hist(name: &str, unit: &str, counts: &[u64]) {
 
 fn main() {
     let opts = RunOptions::from_env();
+    let _run = hotspot_bench::Experiment::start("fig07_consecutive_runs", &opts);
     let prep = prepare(&opts);
     print_preamble("fig07_consecutive_runs", &opts, &prep);
 

@@ -9,6 +9,7 @@ use hotspot_bench::{prepare, RunOptions};
 
 fn main() {
     let opts = RunOptions::from_env();
+    let _run = hotspot_bench::Experiment::start("fig08_spatial_correlation", &opts);
     let prep = prepare(&opts);
     print_preamble("fig08_spatial_correlation", &opts, &prep);
 

@@ -11,6 +11,7 @@ use hotspot_forecast::models::ModelSpec;
 
 fn main() {
     let opts = RunOptions::from_env();
+    let _run = hotspot_bench::Experiment::start("fig09_lift_vs_horizon", &opts);
     let prep = prepare(&opts);
     print_preamble("fig09_lift_vs_horizon (be a hot spot, w=7)", &opts, &prep);
 

@@ -10,6 +10,7 @@ use hotspot_forecast::models::ModelSpec;
 
 fn main() {
     let opts = RunOptions::from_env();
+    let _run = hotspot_bench::Experiment::start("fig13_lift_vs_window", &opts);
     let prep = prepare(&opts);
     print_preamble("fig13_lift_vs_window (be a hot spot, RF-F1)", &opts, &prep);
 

@@ -15,6 +15,7 @@ use hotspot_forecast::models::ModelSpec;
 
 fn importance_experiment(name: &str, target: Target) {
     let opts = RunOptions::from_env();
+    let _run = hotspot_bench::Experiment::start("fig15_feature_importance", &opts);
     let prep = prepare(&opts);
     print_preamble(name, &opts, &prep);
 

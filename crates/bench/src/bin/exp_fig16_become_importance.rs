@@ -15,6 +15,7 @@ use hotspot_forecast::models::ModelSpec;
 
 fn main() {
     let mut opts = RunOptions::from_env();
+    let _run = hotspot_bench::Experiment::start("fig16_become_importance", &opts);
     // Emergences are rare events; at reduced sector counts the paper's
     // failure frequency leaves most evaluation days without a single
     // positive. Default to an emergence-rich rate (override with

@@ -13,6 +13,7 @@ use hotspot_forecast::sweep::SweepConfig;
 
 fn main() {
     let mut opts = RunOptions::from_env();
+    let _run = hotspot_bench::Experiment::start("sec5a_temporal_stability", &opts);
     // The KS test needs several t samples per half: densify t.
     if opts.t_step == RunOptions::default().t_step {
         opts.t_step = 3;

@@ -10,6 +10,7 @@ use hotspot_eval::stats::Summary;
 
 fn main() {
     let opts = RunOptions::from_env();
+    let _run = hotspot_bench::Experiment::start("tab02_weekly_patterns", &opts);
     let prep = prepare(&opts);
     print_preamble("tab02_weekly_patterns", &opts, &prep);
 

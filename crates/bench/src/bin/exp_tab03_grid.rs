@@ -8,6 +8,7 @@ use hotspot_forecast::sweep::TableIIIGrid;
 
 fn main() {
     let opts = RunOptions::from_env();
+    let _run = hotspot_bench::Experiment::start("tab03_grid", &opts);
     print_section("tab03_grid (paper values)");
     print_header(&["variable", "values"]);
     let models: Vec<&str> = ModelSpec::PAPER.iter().map(|m| m.name()).collect();

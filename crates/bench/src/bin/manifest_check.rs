@@ -1,0 +1,85 @@
+//! CI helper: validate a run manifest (and, optionally, a JSONL
+//! metrics stream) produced by an experiment binary.
+//!
+//! Usage: `manifest_check <run.manifest.json> [run.metrics.jsonl]`
+//!
+//! Exits non-zero — with the reason on stderr — when the manifest is
+//! missing, unparsable, records a non-`ok` outcome, or carries an
+//! empty metrics snapshot, or when any JSONL line fails to parse as an
+//! event object. Prints a one-line summary on success so CI logs show
+//! what was verified.
+
+use hotspot_obs::{Json, RunManifest};
+use std::path::Path;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("manifest_check: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.len() > 2 {
+        fail("usage: manifest_check <run.manifest.json> [run.metrics.jsonl]");
+    }
+
+    let manifest_path = Path::new(&args[0]);
+    let manifest = RunManifest::read(manifest_path)
+        .unwrap_or_else(|e| fail(&format!("{}: {e}", manifest_path.display())));
+    if manifest.outcome != "ok" {
+        fail(&format!("{}: outcome is '{}'", manifest_path.display(), manifest.outcome));
+    }
+    if manifest.metrics.is_empty() {
+        fail(&format!("{}: metrics snapshot is empty", manifest_path.display()));
+    }
+    if manifest.config_fingerprint.is_empty() {
+        fail(&format!("{}: missing config fingerprint", manifest_path.display()));
+    }
+
+    let mut events = 0usize;
+    let mut snapshots = 0usize;
+    if let Some(arg) = args.get(1) {
+        let jsonl_path = Path::new(arg);
+        let text = std::fs::read_to_string(jsonl_path)
+            .unwrap_or_else(|e| fail(&format!("{}: {e}", jsonl_path.display())));
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let event = Json::parse(line).unwrap_or_else(|e| {
+                fail(&format!("{}:{}: {e}", jsonl_path.display(), lineno + 1))
+            });
+            match event.get("event").and_then(Json::as_str) {
+                Some(kind) => {
+                    events += 1;
+                    if kind == "metrics_snapshot" {
+                        snapshots += 1;
+                    }
+                }
+                None => fail(&format!(
+                    "{}:{}: JSONL line has no 'event' field",
+                    jsonl_path.display(),
+                    lineno + 1
+                )),
+            }
+        }
+        if snapshots == 0 {
+            fail(&format!("{}: no metrics_snapshot event", jsonl_path.display()));
+        }
+    }
+
+    println!(
+        "manifest_check: {} ok (experiment {}, fingerprint {}, {} ms, {} counters, {} spans{})",
+        manifest_path.display(),
+        manifest.experiment,
+        manifest.config_fingerprint,
+        manifest.duration_ms,
+        manifest.metrics.counters.len(),
+        manifest.metrics.spans.len(),
+        if args.len() == 2 {
+            format!(", {events} events / {snapshots} snapshots")
+        } else {
+            String::new()
+        }
+    );
+}

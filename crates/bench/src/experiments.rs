@@ -10,6 +10,7 @@ use hotspot_forecast::models::ModelSpec;
 use hotspot_forecast::sweep::{
     run_sweep_resumable, ResiliencePolicy, SweepConfig, SweepResult, TableIIIGrid,
 };
+use hotspot_obs as obs;
 
 /// Build a forecast context for a prepared dataset and target.
 ///
@@ -39,7 +40,7 @@ pub fn run_sweep_with_options(
 ) -> SweepResult {
     if let Some(path) = &opts.checkpoint {
         if path.exists() && !opts.resume {
-            eprintln!(
+            obs::error!(
                 "checkpoint {} already exists; pass --resume to continue it or delete it first",
                 path.display()
             );
@@ -48,11 +49,14 @@ pub fn run_sweep_with_options(
     }
     let result = run_sweep_resumable(ctx, config, opts.checkpoint.as_deref())
         .unwrap_or_else(|e| {
-            eprintln!("sweep checkpoint error: {e}");
+            obs::error!("sweep checkpoint error: {e}");
             std::process::exit(2);
         });
+    obs::set_annotation("sweep_health", &result.health.summary());
     if !result.health.is_clean() || result.health.resumed > 0 {
-        eprintln!("# sweep health: {}", result.health.summary());
+        obs::warn!("sweep health: {}", result.health.summary());
+    } else {
+        obs::debug!("sweep health: {}", result.health.summary());
     }
     result
 }

@@ -46,6 +46,14 @@ pub struct RunOptions {
     pub firewall: bool,
     /// Cooperative per-cell soft deadline for sweep cells, in ms.
     pub cell_deadline_ms: Option<u64>,
+    /// Stderr log level (`--log-level`); overrides the `HOTSPOT_LOG`
+    /// environment variable when set.
+    pub log_level: Option<hotspot_obs::Level>,
+    /// Stream machine-readable JSONL log/metric events to this file.
+    pub metrics_out: Option<std::path::PathBuf>,
+    /// Write a JSON run manifest (config fingerprint, seed, timings,
+    /// final metrics snapshot) to this file when the run finishes.
+    pub manifest: Option<std::path::PathBuf>,
 }
 
 impl Default for RunOptions {
@@ -64,6 +72,9 @@ impl Default for RunOptions {
             resume: false,
             firewall: false,
             cell_deadline_ms: None,
+            log_level: None,
+            metrics_out: None,
+            manifest: None,
         }
     }
 }
@@ -122,11 +133,24 @@ impl RunOptions {
                         "--cell-deadline-ms",
                     ) as u64)
                 }
+                "--log-level" => {
+                    let v = take(&mut args, "--log-level");
+                    opts.log_level = Some(hotspot_obs::Level::parse(&v).unwrap_or_else(|| {
+                        eprintln!("unknown log level '{v}' (error|warn|info|debug)");
+                        std::process::exit(2);
+                    }));
+                }
+                "--metrics-out" => {
+                    opts.metrics_out = Some(take(&mut args, "--metrics-out").into())
+                }
+                "--manifest" => opts.manifest = Some(take(&mut args, "--manifest").into()),
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --sectors N --weeks N --seed N --trees N --train-days N \
                          --t-step N --imputer (ffill|mean|ae) --failure-rate F --full \
-                         --checkpoint PATH --resume --firewall --cell-deadline-ms N"
+                         --checkpoint PATH --resume --firewall --cell-deadline-ms N \
+                         --log-level (error|warn|info|debug) --metrics-out PATH \
+                         --manifest PATH"
                     );
                     std::process::exit(0);
                 }
@@ -211,6 +235,23 @@ mod tests {
         assert_eq!(d.checkpoint, None);
         assert!(!d.resume && !d.firewall);
         assert_eq!(d.cell_deadline_ms, None);
+    }
+
+    #[test]
+    fn parses_observability_flags() {
+        let o = parse(&[
+            "--log-level", "debug", "--metrics-out", "/tmp/run.jsonl", "--manifest",
+            "/tmp/run.manifest.json",
+        ]);
+        assert_eq!(o.log_level, Some(hotspot_obs::Level::Debug));
+        assert_eq!(o.metrics_out.as_deref(), Some(std::path::Path::new("/tmp/run.jsonl")));
+        assert_eq!(
+            o.manifest.as_deref(),
+            Some(std::path::Path::new("/tmp/run.manifest.json"))
+        );
+        let d = parse(&[]);
+        assert_eq!(d.log_level, None);
+        assert!(d.metrics_out.is_none() && d.manifest.is_none());
     }
 
     #[test]

@@ -8,6 +8,7 @@ use hotspot_core::validate::{screen, FirewallConfig};
 use hotspot_core::pipeline::{ScorePipeline, ScoredNetwork};
 use hotspot_core::tensor::Tensor3;
 use hotspot_nn::imputer::{AutoencoderImputer, ForwardFillImputer, Imputer, ImputerConfig, MeanImputer};
+use hotspot_obs as obs;
 use hotspot_simnet::network::{NetworkConfig, SyntheticNetwork};
 
 /// Everything an experiment needs, post-pipeline.
@@ -37,6 +38,7 @@ pub struct Prepared {
 /// Panics if the filter discards every sector (does not happen at the
 /// default missingness rates).
 pub fn prepare(opts: &RunOptions) -> Prepared {
+    let _span = obs::span!("prepare");
     let mut config = NetworkConfig::paper_shaped()
         .with_sectors(opts.sectors)
         .with_weeks(opts.weeks);
@@ -55,7 +57,7 @@ pub fn prepare(opts: &RunOptions) -> Prepared {
             .expect("catalog matches simulated tensor");
         n_quarantined = report.n_quarantined();
         if n_quarantined > 0 {
-            eprintln!("# firewall: {}", report.summary());
+            obs::warn!("firewall: {}", report.summary());
         }
         firewall_mask = report.keep_mask();
     }
@@ -71,17 +73,25 @@ pub fn prepare(opts: &RunOptions) -> Prepared {
     let n_filtered = firewall_mask.iter().zip(&filter).filter(|(&q, &f)| q && !f).count();
     let mut kpis = network.kpis().retain_sectors(&mask).expect("mask matches");
 
-    // Imputation.
-    let n_imputed = match opts.imputer {
-        ImputerChoice::ForwardFill => ForwardFillImputer.impute(&mut kpis),
-        ImputerChoice::Mean => MeanImputer.impute(&mut kpis),
-        ImputerChoice::Autoencoder => {
-            AutoencoderImputer::new(ImputerConfig::fast()).impute(&mut kpis)
-        }
+    // Imputation. Whatever gaps the chosen imputer leaves (e.g. a KPI
+    // missing for an entire sector) fall back to the mean imputer so
+    // scoring sees finite data.
+    let n_imputed = {
+        let _impute = obs::span!("impute");
+        let filled = match opts.imputer {
+            ImputerChoice::ForwardFill => ForwardFillImputer.impute(&mut kpis),
+            ImputerChoice::Mean => MeanImputer.impute(&mut kpis),
+            ImputerChoice::Autoencoder => {
+                AutoencoderImputer::new(ImputerConfig::fast()).impute(&mut kpis)
+            }
+        };
+        filled + MeanImputer.impute(&mut kpis)
     };
-    // Whatever gaps remain (e.g. a KPI missing for an entire sector)
-    // fall back to the mean imputer so scoring sees finite data.
-    let n_imputed = n_imputed + MeanImputer.impute(&mut kpis);
+    obs::debug!(
+        "prepared dataset: kept {}/{} sectors, imputed {n_imputed} cells",
+        kept.len(),
+        mask.len()
+    );
 
     let scored = ScorePipeline::standard().run(&kpis).expect("score pipeline");
     let positions: Vec<(f64, f64)> = kept

@@ -12,6 +12,7 @@ use crate::labels::{become_hot_labels, hot_labels, BecomeConfig};
 use crate::matrix::Matrix;
 use crate::score::{raw_scores, ScoreConfig};
 use crate::tensor::Tensor3;
+use hotspot_obs as obs;
 
 /// Configuration for the full scoring pipeline.
 #[derive(Debug, Clone)]
@@ -47,9 +48,16 @@ impl ScorePipeline {
     /// Propagates dimension/config errors from the stages; requires at
     /// least one full week of hourly data.
     pub fn run(&self, kpis: &Tensor3) -> Result<ScoredNetwork> {
-        let s_hourly = raw_scores(kpis, &self.score)?;
-        let s_daily = integrate(&s_hourly, Resolution::Daily)?;
-        let s_weekly = integrate(&s_hourly, Resolution::Weekly)?;
+        let _pipeline = obs::span!("pipeline");
+        let s_hourly = {
+            let _s = obs::span!("score");
+            raw_scores(kpis, &self.score)?
+        };
+        let (s_daily, s_weekly) = {
+            let _s = obs::span!("integrate");
+            (integrate(&s_hourly, Resolution::Daily)?, integrate(&s_hourly, Resolution::Weekly)?)
+        };
+        let _s = obs::span!("labels");
         let y_hourly = hot_labels(&s_hourly, self.epsilon);
         let y_daily = hot_labels(&s_daily, self.epsilon);
         let y_weekly = hot_labels(&s_weekly, self.epsilon);

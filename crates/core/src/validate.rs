@@ -21,6 +21,7 @@
 use crate::error::{CoreError, Result};
 use crate::kpi::KpiCatalog;
 use crate::tensor::Tensor3;
+use hotspot_obs as obs;
 
 /// Thresholds for the firewall checks.
 #[derive(Debug, Clone)]
@@ -141,6 +142,7 @@ pub fn screen(
     catalog: &KpiCatalog,
     config: &FirewallConfig,
 ) -> Result<FirewallReport> {
+    let _span = obs::span!("firewall.screen");
     if kpis.n_features() != catalog.len() {
         return Err(CoreError::DimensionMismatch(format!(
             "tensor has {} KPIs, catalogue has {}",
@@ -216,7 +218,11 @@ pub fn screen(
         }
         verdicts.push(SectorVerdict { sector: i, anomalies });
     }
-    Ok(FirewallReport { verdicts })
+    let report = FirewallReport { verdicts };
+    let n_anomalies: usize = report.verdicts.iter().map(|v| v.anomalies.len()).sum();
+    obs::counter("firewall.sectors_quarantined").add(report.n_quarantined() as u64);
+    obs::counter("firewall.anomalies").add(n_anomalies as u64);
+    Ok(report)
 }
 
 #[cfg(test)]

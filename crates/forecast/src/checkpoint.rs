@@ -257,6 +257,7 @@ impl CheckpointWriter {
         let mut file = self.file.lock();
         file.write_all(line.as_bytes())?;
         file.flush()?;
+        hotspot_obs::counter("sweep.checkpoint_appends").inc();
         Ok(())
     }
 }

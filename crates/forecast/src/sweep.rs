@@ -22,6 +22,7 @@ use crate::evaluate::{evaluate_day, EvalRecord};
 use crate::models::ModelSpec;
 use hotspot_core::error::Result as CoreResult;
 use hotspot_features::windows::WindowSpec;
+use hotspot_obs as obs;
 use hotspot_trees::CancelToken;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -412,6 +413,7 @@ pub fn run_sweep_resumable(
     config: &SweepConfig,
     checkpoint: Option<&Path>,
 ) -> CoreResult<SweepResult> {
+    let _span = obs::span!("sweep");
     let mut combos: Vec<(ModelSpec, usize, usize, usize)> = Vec::new();
     for &m in &config.models {
         for &t in &config.ts {
@@ -462,6 +464,7 @@ pub fn run_sweep_resumable(
                         cell
                     }
                 };
+                record_cell_metrics(&cell);
                 results.lock().push(cell);
             });
         }
@@ -474,6 +477,30 @@ pub fn run_sweep_resumable(
     let cells = results.into_inner();
     let health = SweepHealth::from_cells(&cells);
     Ok(SweepResult { cells, health })
+}
+
+/// Per-cell metric accounting, mirroring [`SweepHealth::from_cells`]
+/// so the final counter totals equal the health report: `evaluated`,
+/// `empty` (= skipped), `failed` (= errored), `timeout`, plus
+/// `retried`/`resumed` under the same conditions. Recomputed cells
+/// also feed the `sweep.cell_ms` duration histogram (adopted cells'
+/// timings belong to the original run).
+fn record_cell_metrics(cell: &SweepCell) {
+    let name = match cell.outcome {
+        CellOutcome::Evaluated(_) => "sweep.cells.evaluated",
+        CellOutcome::Empty => "sweep.cells.empty",
+        CellOutcome::Failed { .. } => "sweep.cells.failed",
+        CellOutcome::TimedOut { .. } => "sweep.cells.timeout",
+    };
+    obs::counter(name).inc();
+    if cell.attempts > 1 && cell.outcome.record().is_some() {
+        obs::counter("sweep.cells.retried").inc();
+    }
+    if cell.resumed {
+        obs::counter("sweep.cells.resumed").inc();
+    } else {
+        obs::histogram("sweep.cell_ms", &obs::DURATION_MS_BOUNDS).observe(cell.elapsed_ms as f64);
+    }
 }
 
 /// The seed a given attempt runs with: attempt 1 uses the configured
@@ -495,6 +522,7 @@ fn run_cell_resilient(
     h: usize,
     w: usize,
 ) -> SweepCell {
+    let _span = obs::span!("sweep.cell");
     let started = Instant::now();
     let max_attempts = config.resilience.max_attempts.max(1);
     let mut attempts = 0u32;
@@ -511,6 +539,10 @@ fn run_cell_resilient(
         match attempt {
             Ok(record) => {
                 let outcome = if cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                    obs::warn!(
+                        "cell {} t={t} h={h} w={w} timed out after {elapsed_ms} ms",
+                        model.name()
+                    );
                     CellOutcome::TimedOut { elapsed_ms, attempts }
                 } else {
                     match record {
@@ -522,11 +554,12 @@ fn run_cell_resilient(
             }
             Err(payload) => {
                 if attempts >= max_attempts {
-                    let outcome = CellOutcome::Failed {
-                        error: panic_message(payload),
-                        elapsed_ms,
-                        attempts,
-                    };
+                    let error = panic_message(payload);
+                    obs::warn!(
+                        "cell {} t={t} h={h} w={w} failed after {attempts} attempts: {error}",
+                        model.name()
+                    );
+                    let outcome = CellOutcome::Failed { error, elapsed_ms, attempts };
                     return SweepCell {
                         model,
                         t,

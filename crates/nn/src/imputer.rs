@@ -11,6 +11,7 @@
 use crate::autoencoder::{Autoencoder, AutoencoderConfig};
 use crate::linalg::Mat;
 use hotspot_core::tensor::Tensor3;
+use hotspot_obs as obs;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -58,6 +59,7 @@ impl Imputer for ForwardFillImputer {
                 }
             }
         }
+        obs::counter("imputer.cells_imputed").add(filled as u64);
         filled
     }
 }
@@ -95,6 +97,7 @@ impl Imputer for MeanImputer {
                 }
             }
         }
+        obs::counter("imputer.cells_imputed").add(filled as u64);
         filled
     }
 }
@@ -254,6 +257,7 @@ impl AutoencoderImputer {
 
     /// Train the autoencoder on the tensor's slices.
     pub fn fit(&mut self, kpis: &Tensor3) {
+        let _span = obs::span!("imputer.fit");
         let (n, m, l) = kpis.shape();
         let h = self.config.slice_hours;
         assert!(m >= h, "series shorter than one slice");
@@ -272,6 +276,7 @@ impl AutoencoderImputer {
         self.loss_trace.clear();
 
         for _epoch in 0..self.config.epochs {
+            let _epoch_span = obs::span!("epoch");
             for _batch in 0..batches_per_epoch {
                 let b = self.config.batch_size;
                 let mut corrupt = Vec::with_capacity(b * input_dim);
@@ -311,6 +316,9 @@ impl AutoencoderImputer {
                 );
                 self.loss_trace.push(loss);
             }
+        }
+        if let Some(&last) = self.loss_trace.last() {
+            obs::gauge("imputer.reconstruction_error").set(last);
         }
         self.network = Some(net);
     }
@@ -370,6 +378,7 @@ impl Imputer for AutoencoderImputer {
                 }
             }
         }
+        obs::counter("imputer.cells_imputed").add(filled as u64);
         filled
     }
 }

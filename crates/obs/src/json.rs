@@ -1,0 +1,370 @@
+//! A minimal JSON value: render and parse, nothing else.
+//!
+//! The workspace is vendored-deps-only (no serde), and the
+//! observability layer needs exactly two JSON jobs: rendering
+//! manifests/JSONL events, and parsing a manifest back for the
+//! round-trip guarantee. A ~200-line recursive-descent value type
+//! covers both without pulling a dependency into every crate.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON value. Objects use [`BTreeMap`] so rendering is
+/// deterministic — two manifests with the same content are
+/// byte-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (JSON does not distinguish int from float).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with deterministically ordered keys.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Build an object from key/value pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Member lookup on an object (`None` for other variants).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64` (must be a non-negative integer).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(v) if *v >= 0.0 && v.fract() == 0.0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The object map, if this is an object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Render to a compact single-line JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => {
+                if v.is_finite() {
+                    // Rust's float Display is shortest-round-trip and
+                    // never uses exponent notation — always valid JSON.
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null"); // JSON has no Inf/NaN
+                }
+            }
+            Json::Str(s) => render_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a JSON document. Exactly one value, whole input consumed
+    /// (trailing whitespace allowed).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut at = 0usize;
+        let value = parse_value(bytes, &mut at)?;
+        skip_ws(bytes, &mut at);
+        if at != bytes.len() {
+            return Err(format!("trailing content at byte {at}"));
+        }
+        Ok(value)
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], at: &mut usize) {
+    while *at < bytes.len() && matches!(bytes[*at], b' ' | b'\t' | b'\n' | b'\r') {
+        *at += 1;
+    }
+}
+
+fn expect(bytes: &[u8], at: &mut usize, b: u8) -> Result<(), String> {
+    if bytes.get(*at) == Some(&b) {
+        *at += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", b as char, *at))
+    }
+}
+
+fn parse_value(bytes: &[u8], at: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, at);
+    match bytes.get(*at) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'n') => parse_literal(bytes, at, "null", Json::Null),
+        Some(b't') => parse_literal(bytes, at, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, at, "false", Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, at).map(Json::Str),
+        Some(b'[') => {
+            *at += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, at);
+            if bytes.get(*at) == Some(&b']') {
+                *at += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, at)?);
+                skip_ws(bytes, at);
+                match bytes.get(*at) {
+                    Some(b',') => *at += 1,
+                    Some(b']') => {
+                        *at += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", *at)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *at += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(bytes, at);
+            if bytes.get(*at) == Some(&b'}') {
+                *at += 1;
+                return Ok(Json::Obj(map));
+            }
+            loop {
+                skip_ws(bytes, at);
+                let key = parse_string(bytes, at)?;
+                skip_ws(bytes, at);
+                expect(bytes, at, b':')?;
+                map.insert(key, parse_value(bytes, at)?);
+                skip_ws(bytes, at);
+                match bytes.get(*at) {
+                    Some(b',') => *at += 1,
+                    Some(b'}') => {
+                        *at += 1;
+                        return Ok(Json::Obj(map));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", *at)),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, at),
+    }
+}
+
+fn parse_literal(bytes: &[u8], at: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*at..].starts_with(lit.as_bytes()) {
+        *at += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *at))
+    }
+}
+
+fn parse_string(bytes: &[u8], at: &mut usize) -> Result<String, String> {
+    expect(bytes, at, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*at) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *at += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *at += 1;
+                match bytes.get(*at) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*at + 1..*at + 5)
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                        // Surrogate pairs are not produced by our renderer;
+                        // map lone surrogates to the replacement character.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *at += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *at += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so this
+                // boundary arithmetic is safe).
+                let rest = std::str::from_utf8(&bytes[*at..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *at += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], at: &mut usize) -> Result<Json, String> {
+    let start = *at;
+    if bytes.get(*at) == Some(&b'-') {
+        *at += 1;
+    }
+    while *at < bytes.len()
+        && matches!(bytes[*at], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *at += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*at]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::Num(3.0).render(), "3");
+        assert_eq!(Json::Num(0.25).render(), "0.25");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Str("a\t\"b\"\n".into()).render(), "\"a\\t\\\"b\\\"\\n\"");
+    }
+
+    #[test]
+    fn parses_what_it_renders() {
+        let value = Json::obj(vec![
+            ("name", Json::Str("sweep — λ".into())),
+            ("count", Json::Num(12.0)),
+            ("ratio", Json::Num(0.1 + 0.2)),
+            ("flags", Json::Arr(vec![Json::Bool(false), Json::Null])),
+            (
+                "nested",
+                Json::obj(vec![("k", Json::Str("tab\there".into()))]),
+            ),
+        ]);
+        let text = value.render();
+        assert_eq!(Json::parse(&text).unwrap(), value);
+    }
+
+    #[test]
+    fn float_round_trip_is_exact() {
+        for v in [0.1 + 0.2, 1.0 / 3.0, 2.5e-17, 123456789.123456] {
+            let rendered = Json::Num(v).render();
+            assert_eq!(Json::parse(&rendered).unwrap().as_f64().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn parses_whitespace_and_escapes() {
+        let parsed = Json::parse(" { \"a\" : [ 1 , -2.5e1 ] , \"b\\u0041\" : \"x\" } ").unwrap();
+        assert_eq!(parsed.get("a").unwrap().as_arr().unwrap()[1], Json::Num(-25.0));
+        assert_eq!(parsed.get("bA").unwrap().as_str(), Some("x"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        assert!(Json::parse("{} trailing").is_err());
+        assert!(Json::parse("nul").is_err());
+    }
+
+    #[test]
+    fn object_keys_are_ordered() {
+        let parsed = Json::parse("{\"z\":1,\"a\":2}").unwrap();
+        assert_eq!(parsed.render(), "{\"a\":2,\"z\":1}");
+    }
+}

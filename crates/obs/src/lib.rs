@@ -1,0 +1,144 @@
+//! # hotspot-obs
+//!
+//! The workspace's observability substrate: RAII **spans** with
+//! parent/child nesting, a thread-safe **metrics** registry (counters,
+//! gauges, fixed-bucket histograms), a leveled structured **logger**
+//! (human stderr + optional machine JSONL), and per-run **manifests**
+//! — the JSON artifact written next to each experiment's TSV that
+//! records which configuration, code revision, and metric totals
+//! produced it.
+//!
+//! Everything funnels through one process-global registry so
+//! instrumentation can live in any crate without plumbing handles:
+//!
+//! ```
+//! use hotspot_obs as obs;
+//!
+//! obs::set_spans_enabled(true);
+//! {
+//!     let _sweep = obs::span!("sweep");
+//!     let _cell = obs::span!("cell"); // records as "sweep/cell"
+//!     obs::counter("sweep.cells.evaluated").inc();
+//! }
+//! obs::info!("sweep finished");
+//! let snapshot = obs::global().snapshot();
+//! assert_eq!(snapshot.counters["sweep.cells.evaluated"], 1);
+//! assert!(snapshot.spans.contains_key("sweep/cell"));
+//! ```
+//!
+//! Cost model: counters/gauges/histograms are always live (one atomic
+//! op after a registry lookup — negligible at per-cell/per-fit
+//! granularity). Span recording and `debug!` formatting are **off by
+//! default** — a disabled span is one relaxed load — so a run without
+//! `--manifest`/`--metrics-out` pays nothing measurable. The
+//! experiment harness enables spans when an artifact sink is
+//! requested.
+
+pub mod json;
+pub mod logger;
+pub mod manifest;
+pub mod metrics;
+pub mod span;
+
+pub use json::Json;
+pub use logger::{
+    clear_log_sink, emit_json_event, enabled, init_from_env, level, log, set_level, set_log_sink,
+    unix_ms, Level,
+};
+pub use manifest::{fnv1a, git_describe, iso_utc, RunManifest, MANIFEST_SCHEMA, MANIFEST_VERSION};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Obs, SpanStat};
+pub use span::SpanGuard;
+
+use std::sync::OnceLock;
+
+static GLOBAL: OnceLock<Obs> = OnceLock::new();
+
+/// The process-global registry. Span recording starts disabled;
+/// counters, gauges, and histograms are always live.
+pub fn global() -> &'static Obs {
+    GLOBAL.get_or_init(|| {
+        let obs = Obs::new();
+        obs.set_spans_enabled(false);
+        obs
+    })
+}
+
+/// Enable/disable span recording on the global registry.
+pub fn set_spans_enabled(enabled: bool) {
+    global().set_spans_enabled(enabled);
+}
+
+/// Global counter handle.
+pub fn counter(name: &str) -> Counter {
+    global().counter(name)
+}
+
+/// Global gauge handle.
+pub fn gauge(name: &str) -> Gauge {
+    global().gauge(name)
+}
+
+/// Global histogram handle (first registration fixes the bounds).
+pub fn histogram(name: &str, bounds: &[f64]) -> Histogram {
+    global().histogram(name, bounds)
+}
+
+/// Enter a span on the global registry (see also [`span!`]).
+pub fn span(name: &str) -> SpanGuard<'static> {
+    global().span(name)
+}
+
+/// Attach a string annotation to the global registry.
+pub fn set_annotation(key: &str, value: &str) {
+    global().set_annotation(key, value);
+}
+
+/// Enter a named span on the global registry:
+/// `let _guard = obs::span!("fit_forest");`
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+}
+
+/// Millisecond histogram bounds shared by duration histograms
+/// (1 ms … 100 s, roughly log-spaced).
+pub const DURATION_MS_BOUNDS: [f64; 15] = [
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0, 10_000.0,
+    30_000.0, 100_000.0,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Global-state test: keep every global-registry assertion in this
+    // one function so parallel test threads cannot interleave.
+    #[test]
+    fn global_registry_end_to_end() {
+        let was_enabled = global().spans_enabled();
+        assert!(!was_enabled, "global spans must start disabled");
+        {
+            let inert = span!("not_recorded");
+            assert_eq!(inert.path(), "");
+        }
+        set_spans_enabled(true);
+        {
+            let _outer = span!("outer");
+            let _inner = span!("inner");
+        }
+        counter("test.global.counter").add(2);
+        gauge("test.global.gauge").set(1.5);
+        histogram("test.global.hist", &DURATION_MS_BOUNDS).observe(3.0);
+        set_annotation("test.note", "hello");
+        let snap = global().snapshot();
+        assert_eq!(snap.counters["test.global.counter"], 2);
+        assert_eq!(snap.gauges["test.global.gauge"], 1.5);
+        assert_eq!(snap.histograms["test.global.hist"].count, 1);
+        assert!(snap.spans.contains_key("outer/inner"));
+        assert!(!snap.spans.contains_key("not_recorded"));
+        assert_eq!(snap.annotations["test.note"], "hello");
+        set_spans_enabled(false);
+    }
+}

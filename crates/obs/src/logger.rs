@@ -1,0 +1,211 @@
+//! Leveled structured logger.
+//!
+//! Human-readable lines go to stderr (stdout is reserved for TSV data
+//! output across the workspace); when a JSONL sink is attached, every
+//! event is additionally appended to it as one machine-readable JSON
+//! line. The level check is a single relaxed atomic load and message
+//! formatting happens only after it passes, so `debug!` calls in hot
+//! paths cost nothing at the default (`info`) level.
+
+use crate::json::Json;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// The run is compromised (bad I/O, refused resume, …).
+    Error = 1,
+    /// Surprising but survivable (quarantined sectors, dirty sweeps).
+    Warn = 2,
+    /// Run-level milestones. The default.
+    Info = 3,
+    /// Per-stage / per-cell progress detail.
+    Debug = 4,
+}
+
+impl Level {
+    /// Parse `error|warn|info|debug` (case-insensitive).
+    pub fn parse(text: &str) -> Option<Level> {
+        match text.to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+
+    /// Lower-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            1 => Level::Error,
+            2 => Level::Warn,
+            4 => Level::Debug,
+            _ => Level::Info,
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+static SINK: Mutex<Option<File>> = Mutex::new(None);
+
+/// Current log level.
+pub fn level() -> Level {
+    Level::from_u8(LEVEL.load(Ordering::Relaxed))
+}
+
+/// Set the log level.
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Honour the `HOTSPOT_LOG` environment variable (`error|warn|info|
+/// debug`) when present; unknown values are ignored.
+pub fn init_from_env() {
+    if let Some(parsed) = std::env::var("HOTSPOT_LOG").ok().and_then(|v| Level::parse(&v)) {
+        set_level(parsed);
+    }
+}
+
+/// Whether a message at `level` would be emitted.
+pub fn enabled(level: Level) -> bool {
+    (level as u8) <= LEVEL.load(Ordering::Relaxed)
+}
+
+/// Attach (append-mode) a JSONL sink file; every subsequent event is
+/// mirrored there. Pass through `--metrics-out` in the experiment
+/// binaries.
+///
+/// # Errors
+/// Propagates file-creation errors.
+pub fn set_log_sink(path: &Path) -> std::io::Result<()> {
+    let file = OpenOptions::new().create(true).append(true).open(path)?;
+    *SINK.lock().unwrap_or_else(PoisonError::into_inner) = Some(file);
+    Ok(())
+}
+
+/// Detach the JSONL sink (flushes implicitly; each line is flushed as
+/// written).
+pub fn clear_log_sink() {
+    *SINK.lock().unwrap_or_else(PoisonError::into_inner) = None;
+}
+
+/// Milliseconds since the Unix epoch.
+pub fn unix_ms() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis() as u64).unwrap_or(0)
+}
+
+/// Append one pre-built JSON event to the sink (no stderr echo, no
+/// level filter). Used for the final metrics-snapshot event.
+pub fn emit_json_event(event: &Json) {
+    let mut sink = SINK.lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(file) = sink.as_mut() {
+        let _ = writeln!(file, "{}", event.render());
+        let _ = file.flush();
+    }
+}
+
+/// Core log entry point; use the [`error!`](crate::error!) /
+/// [`warn!`](crate::warn!) / [`info!`](crate::info!) /
+/// [`debug!`](crate::debug!) macros instead of calling this directly.
+pub fn log(level: Level, target: &str, args: std::fmt::Arguments<'_>) {
+    if !enabled(level) {
+        return;
+    }
+    let msg = args.to_string();
+    eprintln!("[{:5}] {target}: {msg}", level.name());
+    let mut sink = SINK.lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(file) = sink.as_mut() {
+        let event = Json::obj(vec![
+            ("event", Json::Str("log".into())),
+            ("ts_ms", Json::Num(unix_ms() as f64)),
+            ("level", Json::Str(level.name().into())),
+            ("target", Json::Str(target.into())),
+            ("msg", Json::Str(msg)),
+        ]);
+        let _ = writeln!(file, "{}", event.render());
+        let _ = file.flush();
+    }
+}
+
+/// Log at [`Level::Error`].
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => {
+        $crate::log($crate::Level::Error, module_path!(), format_args!($($arg)*))
+    };
+}
+
+/// Log at [`Level::Warn`].
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        $crate::log($crate::Level::Warn, module_path!(), format_args!($($arg)*))
+    };
+}
+
+/// Log at [`Level::Info`].
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        $crate::log($crate::Level::Info, module_path!(), format_args!($($arg)*))
+    };
+}
+
+/// Log at [`Level::Debug`].
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        $crate::log($crate::Level::Debug, module_path!(), format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(Level::Error < Level::Debug);
+        assert_eq!(Level::parse("DEBUG"), Some(Level::Debug));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse("verbose"), None);
+        for l in [Level::Error, Level::Warn, Level::Info, Level::Debug] {
+            assert_eq!(Level::parse(l.name()), Some(l));
+            assert_eq!(Level::from_u8(l as u8), l);
+        }
+    }
+
+    #[test]
+    fn enabled_respects_threshold() {
+        // Note: global level; keep assertions relative to what we set.
+        let prior = level();
+        set_level(Level::Warn);
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        set_level(prior);
+    }
+
+    #[test]
+    fn unix_ms_is_sane() {
+        let ms = unix_ms();
+        assert!(ms > 1_500_000_000_000, "epoch ms {ms}"); // after 2017
+    }
+}

@@ -1,0 +1,533 @@
+//! Thread-safe metrics registry: counters, gauges, fixed-bucket
+//! histograms, span statistics, and string annotations.
+//!
+//! Counters, gauges, and histograms are lock-free on the hot path:
+//! handles wrap `Arc<AtomicU64>` (or atomic bucket arrays), so a
+//! registry lookup pays one mutex + B-tree probe and every subsequent
+//! `inc()`/`observe()` is a plain atomic op. Span statistics take a
+//! short mutex on guard drop, which is why span recording is gated by
+//! the registry's `spans_enabled` flag (see [`crate::span`]).
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Monotone counter handle. Cloning shares the underlying cell.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-value gauge handle (stores `f64` bits atomically).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Overwrite the value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Fixed-bucket histogram: counts per `value <= bound` bucket plus an
+/// overflow bucket, with total count and sum for mean recovery.
+#[derive(Debug)]
+pub struct HistogramCell {
+    bounds: Vec<f64>,
+    counts: Vec<AtomicU64>, // bounds.len() + 1 (last = overflow)
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+impl HistogramCell {
+    fn new(bounds: &[f64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|p| p[0] < p[1]), "bounds must ascend");
+        HistogramCell {
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Record one observation. The bucket is the first bound with
+    /// `value <= bound`; larger values land in the overflow bucket.
+    pub fn observe(&self, value: f64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // CAS loop: f64 sum in an AtomicU64.
+        let mut current = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + value).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Shareable histogram handle.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCell>);
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&self, value: f64) {
+        self.0.observe(value);
+    }
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Ascending bucket upper bounds.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; one longer than `bounds` (overflow last).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+}
+
+/// Aggregated wall-clock statistics for one span path.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpanStat {
+    /// Completed spans on this path.
+    pub count: u64,
+    /// Total nanoseconds across them.
+    pub total_ns: u64,
+    /// Fastest single span.
+    pub min_ns: u64,
+    /// Slowest single span.
+    pub max_ns: u64,
+}
+
+impl SpanStat {
+    /// Total milliseconds (convenience for reports).
+    pub fn total_ms(&self) -> f64 {
+        self.total_ns as f64 / 1e6
+    }
+
+    /// Mean milliseconds per span.
+    pub fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ms() / self.count as f64
+        }
+    }
+}
+
+/// Point-in-time copy of the whole registry, used by manifests and the
+/// JSONL metrics event. Field-for-field comparable, so manifest
+/// round-trip tests can assert equality.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Span statistics by `parent/child` path.
+    pub spans: BTreeMap<String, SpanStat>,
+    /// Free-form string annotations (e.g. the sweep-health summary).
+    pub annotations: BTreeMap<String, String>,
+}
+
+impl MetricsSnapshot {
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.spans.is_empty()
+            && self.annotations.is_empty()
+    }
+
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let counters =
+            self.counters.iter().map(|(k, &v)| (k.clone(), Json::Num(v as f64))).collect();
+        let gauges = self.gauges.iter().map(|(k, &v)| (k.clone(), Json::Num(v))).collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                (
+                    k.clone(),
+                    Json::obj(vec![
+                        ("bounds", Json::Arr(h.bounds.iter().map(|&b| Json::Num(b)).collect())),
+                        (
+                            "counts",
+                            Json::Arr(h.counts.iter().map(|&c| Json::Num(c as f64)).collect()),
+                        ),
+                        ("count", Json::Num(h.count as f64)),
+                        ("sum", Json::Num(h.sum)),
+                    ]),
+                )
+            })
+            .collect();
+        let spans = self
+            .spans
+            .iter()
+            .map(|(k, s)| {
+                (
+                    k.clone(),
+                    Json::obj(vec![
+                        ("count", Json::Num(s.count as f64)),
+                        ("total_ns", Json::Num(s.total_ns as f64)),
+                        ("min_ns", Json::Num(s.min_ns as f64)),
+                        ("max_ns", Json::Num(s.max_ns as f64)),
+                    ]),
+                )
+            })
+            .collect();
+        let annotations =
+            self.annotations.iter().map(|(k, v)| (k.clone(), Json::Str(v.clone()))).collect();
+        Json::obj(vec![
+            ("counters", Json::Obj(counters)),
+            ("gauges", Json::Obj(gauges)),
+            ("histograms", Json::Obj(histograms)),
+            ("spans", Json::Obj(spans)),
+            ("annotations", Json::Obj(annotations)),
+        ])
+    }
+
+    /// Parse back what [`Self::to_json`] produced.
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        let str_map = |key: &str| -> Result<&BTreeMap<String, Json>, String> {
+            json.get(key)
+                .and_then(Json::as_obj)
+                .ok_or_else(|| format!("metrics snapshot missing object {key:?}"))
+        };
+        let mut snap = MetricsSnapshot::default();
+        for (k, v) in str_map("counters")? {
+            snap.counters
+                .insert(k.clone(), v.as_u64().ok_or_else(|| format!("bad counter {k:?}"))?);
+        }
+        for (k, v) in str_map("gauges")? {
+            snap.gauges.insert(k.clone(), v.as_f64().ok_or_else(|| format!("bad gauge {k:?}"))?);
+        }
+        for (k, v) in str_map("histograms")? {
+            let f64s = |field: &str| -> Result<Vec<f64>, String> {
+                v.get(field)
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| format!("histogram {k:?} missing {field}"))?
+                    .iter()
+                    .map(|x| x.as_f64().ok_or_else(|| format!("histogram {k:?} bad {field}")))
+                    .collect()
+            };
+            snap.histograms.insert(
+                k.clone(),
+                HistogramSnapshot {
+                    bounds: f64s("bounds")?,
+                    counts: f64s("counts")?.into_iter().map(|c| c as u64).collect(),
+                    count: v
+                        .get("count")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("histogram {k:?} bad count"))?,
+                    sum: v
+                        .get("sum")
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| format!("histogram {k:?} bad sum"))?,
+                },
+            );
+        }
+        for (k, v) in str_map("spans")? {
+            let ns = |field: &str| -> Result<u64, String> {
+                v.get(field)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("span {k:?} bad {field}"))
+            };
+            snap.spans.insert(
+                k.clone(),
+                SpanStat {
+                    count: ns("count")?,
+                    total_ns: ns("total_ns")?,
+                    min_ns: ns("min_ns")?,
+                    max_ns: ns("max_ns")?,
+                },
+            );
+        }
+        for (k, v) in str_map("annotations")? {
+            snap.annotations.insert(
+                k.clone(),
+                v.as_str().ok_or_else(|| format!("bad annotation {k:?}"))?.to_string(),
+            );
+        }
+        Ok(snap)
+    }
+}
+
+static NEXT_REGISTRY_ID: AtomicU64 = AtomicU64::new(0);
+
+/// One observability registry. Most code uses the process-global
+/// instance via the free functions in the crate root; tests construct
+/// their own to stay isolated from concurrently running tests.
+#[derive(Debug)]
+pub struct Obs {
+    id: u64,
+    spans_enabled: AtomicBool,
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramCell>>>,
+    spans: Mutex<BTreeMap<String, SpanStat>>,
+    annotations: Mutex<BTreeMap<String, String>>,
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Obs {
+    /// Fresh registry with span recording **enabled** (the global
+    /// registry starts disabled; see [`crate::set_spans_enabled`]).
+    pub fn new() -> Self {
+        Obs {
+            id: NEXT_REGISTRY_ID.fetch_add(1, Ordering::Relaxed),
+            spans_enabled: AtomicBool::new(true),
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            spans: Mutex::new(BTreeMap::new()),
+            annotations: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Stable identity used to key per-thread span stacks.
+    pub(crate) fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Whether span guards record (counters/gauges/histograms always do).
+    pub fn spans_enabled(&self) -> bool {
+        self.spans_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Enable or disable span recording.
+    pub fn set_spans_enabled(&self, enabled: bool) {
+        self.spans_enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Handle to the named counter, creating it at zero on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = lock(&self.counters);
+        Counter(Arc::clone(map.entry(name.to_string()).or_default()))
+    }
+
+    /// Handle to the named gauge, creating it at `0.0` on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = lock(&self.gauges);
+        Gauge(Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0f64.to_bits()))),
+        ))
+    }
+
+    /// Handle to the named histogram. The first registration fixes the
+    /// bucket bounds; later callers share them regardless of what they
+    /// pass (bounds are part of the metric's identity, not the call).
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
+        let mut map = lock(&self.histograms);
+        Histogram(Arc::clone(
+            map.entry(name.to_string()).or_insert_with(|| Arc::new(HistogramCell::new(bounds))),
+        ))
+    }
+
+    /// Record a completed span (used by guard drops; callers normally
+    /// go through [`crate::span`]).
+    pub fn record_span(&self, path: &str, nanos: u64) {
+        let mut map = lock(&self.spans);
+        let stat = map.entry(path.to_string()).or_default();
+        stat.count += 1;
+        stat.total_ns += nanos;
+        stat.max_ns = stat.max_ns.max(nanos);
+        stat.min_ns = if stat.count == 1 { nanos } else { stat.min_ns.min(nanos) };
+    }
+
+    /// Attach a free-form string (config fingerprints, health
+    /// summaries) carried into the manifest.
+    pub fn set_annotation(&self, key: &str, value: &str) {
+        lock(&self.annotations).insert(key.to_string(), value.to_string());
+    }
+
+    /// Point-in-time copy of everything recorded.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: lock(&self.counters)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: lock(&self.gauges)
+                .iter()
+                .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+                .collect(),
+            histograms: lock(&self.histograms)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+            spans: lock(&self.spans).clone(),
+            annotations: lock(&self.annotations).clone(),
+        }
+    }
+
+    /// Drop every metric and annotation (tests).
+    pub fn reset(&self) {
+        lock(&self.counters).clear();
+        lock(&self.gauges).clear();
+        lock(&self.histograms).clear();
+        lock(&self.spans).clear();
+        lock(&self.annotations).clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concurrent_counter_increments_are_lossless() {
+        let obs = Obs::new();
+        let threads = 8;
+        let per_thread = 10_000u64;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let counter = obs.counter("cells.evaluated");
+                scope.spawn(move || {
+                    for _ in 0..per_thread {
+                        counter.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(obs.counter("cells.evaluated").get(), threads * per_thread);
+        assert_eq!(obs.snapshot().counters["cells.evaluated"], threads * per_thread);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive_upper() {
+        let obs = Obs::new();
+        let h = obs.histogram("ms", &[1.0, 10.0, 100.0]);
+        // On-boundary values land in their bucket (value <= bound).
+        for v in [0.5, 1.0, 1.5, 10.0, 99.9, 100.0, 1e9] {
+            h.observe(v);
+        }
+        let snap = &obs.snapshot().histograms["ms"];
+        assert_eq!(snap.bounds, vec![1.0, 10.0, 100.0]);
+        assert_eq!(snap.counts, vec![2, 2, 2, 1]); // {0.5,1.0} {1.5,10.0} {99.9,100.0} {1e9}
+        assert_eq!(snap.count, 7);
+        assert!((snap.sum - (0.5 + 1.0 + 1.5 + 10.0 + 99.9 + 100.0 + 1e9)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn concurrent_histogram_sum_is_exact_for_integers() {
+        let obs = Obs::new();
+        let threads = 4;
+        let per_thread = 2_000;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let h = obs.histogram("v", &[10.0]);
+                scope.spawn(move || {
+                    for _ in 0..per_thread {
+                        h.observe(1.0);
+                    }
+                });
+            }
+        });
+        let snap = &obs.snapshot().histograms["v"];
+        assert_eq!(snap.count, threads * per_thread);
+        assert_eq!(snap.sum, (threads * per_thread) as f64);
+    }
+
+    #[test]
+    fn gauges_store_last_value() {
+        let obs = Obs::new();
+        let g = obs.gauge("reconstruction_error");
+        g.set(0.75);
+        g.set(0.5);
+        assert_eq!(g.get(), 0.5);
+        assert_eq!(obs.snapshot().gauges["reconstruction_error"], 0.5);
+    }
+
+    #[test]
+    fn span_stats_aggregate() {
+        let obs = Obs::new();
+        obs.record_span("fit", 100);
+        obs.record_span("fit", 300);
+        obs.record_span("fit", 200);
+        let snap = obs.snapshot();
+        let stat = &snap.spans["fit"];
+        assert_eq!(stat.count, 3);
+        assert_eq!(stat.total_ns, 600);
+        assert_eq!(stat.min_ns, 100);
+        assert_eq!(stat.max_ns, 300);
+        assert!((stat.mean_ms() - 600.0 / 3.0 / 1e6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let obs = Obs::new();
+        obs.counter("a").add(3);
+        obs.gauge("g").set(0.1 + 0.2);
+        obs.histogram("h", &[1.0, 2.0]).observe(1.5);
+        obs.record_span("x/y", 12345);
+        obs.set_annotation("note", "tab\there");
+        let snap = obs.snapshot();
+        let parsed = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let obs = Obs::new();
+        obs.counter("a").inc();
+        obs.set_annotation("k", "v");
+        obs.reset();
+        assert!(obs.snapshot().is_empty());
+    }
+}

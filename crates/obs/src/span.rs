@@ -1,0 +1,154 @@
+//! RAII span guards with per-thread parent/child nesting.
+//!
+//! Entering a span pushes its name onto a thread-local stack; the
+//! recorded key is the `/`-joined path of enclosing spans on the same
+//! registry (`"pipeline/score"`), so nesting is visible in the
+//! aggregated statistics without any per-span allocation beyond the
+//! path string. Guards are inert when the registry's span recording is
+//! disabled — one relaxed atomic load, no clock read, no allocation —
+//! which is what keeps default (observability-off) runs at zero cost.
+//!
+//! Worker threads start with an empty stack, so spans opened inside a
+//! thread pool do not inherit the spawning thread's path; hot loops
+//! use explicit dotted names (`"sweep.cell"`) instead.
+
+use crate::metrics::Obs;
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    /// `(registry id, full path)` per open span on this thread.
+    static STACK: RefCell<Vec<(u64, String)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Live span; records its wall-clock duration on drop.
+#[must_use = "a span measures the scope it is bound to; dropping it immediately records ~0ns"]
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    obs: Option<&'a Obs>,
+    path: String,
+    start: Instant,
+}
+
+impl<'a> SpanGuard<'a> {
+    /// Enter a span on `obs`. Prefer [`crate::span`] / [`Obs::span`].
+    pub(crate) fn enter(obs: &'a Obs, name: &str) -> SpanGuard<'a> {
+        if !obs.spans_enabled() {
+            return SpanGuard { obs: None, path: String::new(), start: Instant::now() };
+        }
+        let path = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = match stack.iter().rev().find(|(id, _)| *id == obs.id()) {
+                Some((_, parent)) => format!("{parent}/{name}"),
+                None => name.to_string(),
+            };
+            stack.push((obs.id(), path.clone()));
+            path
+        });
+        SpanGuard { obs: Some(obs), path, start: Instant::now() }
+    }
+
+    /// The `/`-joined path this span records under (empty when inert).
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let Some(obs) = self.obs else { return };
+        let nanos = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Normally the top of stack; scan back to stay correct if
+            // guards are dropped out of order.
+            if let Some(pos) = stack
+                .iter()
+                .rposition(|(id, path)| *id == obs.id() && *path == self.path)
+            {
+                stack.remove(pos);
+            }
+        });
+        obs.record_span(&self.path, nanos);
+    }
+}
+
+impl Obs {
+    /// Enter a named span on this registry.
+    pub fn span(&self, name: &str) -> SpanGuard<'_> {
+        SpanGuard::enter(self, name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_builds_slash_paths() {
+        let obs = Obs::new();
+        {
+            let _outer = obs.span("pipeline");
+            {
+                let inner = obs.span("score");
+                assert_eq!(inner.path(), "pipeline/score");
+            }
+            let _sibling = obs.span("labels");
+        }
+        let snap = obs.snapshot();
+        let paths: Vec<&str> = snap.spans.keys().map(String::as_str).collect();
+        assert_eq!(paths, vec!["pipeline", "pipeline/labels", "pipeline/score"]);
+        // The child closed before the parent, so both recorded once
+        // and the parent's total covers the child's.
+        assert_eq!(snap.spans["pipeline"].count, 1);
+        assert!(snap.spans["pipeline"].total_ns >= snap.spans["pipeline/score"].total_ns);
+    }
+
+    #[test]
+    fn sequential_spans_on_one_path_aggregate_in_order() {
+        let obs = Obs::new();
+        for _ in 0..3 {
+            let _s = obs.span("cell");
+        }
+        assert_eq!(obs.snapshot().spans["cell"].count, 3);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let obs = Obs::new();
+        obs.set_spans_enabled(false);
+        {
+            let guard = obs.span("invisible");
+            assert_eq!(guard.path(), "");
+        }
+        assert!(obs.snapshot().spans.is_empty());
+        // The thread-local stack must stay clean for later spans.
+        obs.set_spans_enabled(true);
+        let guard = obs.span("visible");
+        assert_eq!(guard.path(), "visible");
+    }
+
+    #[test]
+    fn two_registries_do_not_share_nesting() {
+        let a = Obs::new();
+        let b = Obs::new();
+        let _outer = a.span("outer");
+        let inner = b.span("inner");
+        assert_eq!(inner.path(), "inner", "b must not nest under a's span");
+    }
+
+    #[test]
+    fn worker_threads_have_independent_stacks() {
+        let obs = Obs::new();
+        let _outer = obs.span("sweep");
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let cell = obs.span("sweep.cell");
+                    assert_eq!(cell.path(), "sweep.cell");
+                });
+            }
+        });
+        assert_eq!(obs.snapshot().spans["sweep.cell"].count, 4);
+    }
+}

@@ -114,6 +114,7 @@ pub struct SyntheticNetwork {
 impl SyntheticNetwork {
     /// Generate a network deterministically from a config and seed.
     pub fn generate(config: &NetworkConfig, seed: u64) -> Self {
+        let _span = hotspot_obs::span!("simnet.generate");
         let n_hours = config.n_hours();
         let geography = Geography::generate(&config.geography, seed);
         let traffic = TrafficModel::generate(&geography, &config.traffic, seed);
@@ -141,6 +142,12 @@ impl SyntheticNetwork {
 
         let injector = MissingInjector::new(config.missingness.clone(), seed);
         let missing_log = injector.inject_with_log(&mut kpis);
+        hotspot_obs::debug!(
+            "generated network: {} sectors x {} hours, {} missing cells",
+            n,
+            n_hours,
+            kpis.count_nan()
+        );
 
         SyntheticNetwork { config: config.clone(), seed, geography, traffic, events, calendar, kpis, missing_log }
     }

@@ -9,6 +9,7 @@
 use crate::cancel::CancelToken;
 use crate::dataset::Dataset;
 use crate::tree::{DecisionTree, TreeParams};
+use hotspot_obs as obs;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -85,6 +86,7 @@ impl RandomForest {
     /// # Panics
     /// Panics on an empty dataset or zero trees.
     pub fn fit(data: &Dataset, params: &RandomForestParams) -> Self {
+        let _span = obs::span!("forest.fit");
         assert!(params.n_trees > 0, "forest needs at least one tree");
         assert!(data.n_samples() > 0, "cannot fit on an empty dataset");
         let threads = params
@@ -115,6 +117,7 @@ impl RandomForest {
         // A cancelled fit leaves trailing slots empty; keep whatever
         // completed so the caller gets a usable (if weaker) ensemble.
         let trees: Vec<DecisionTree> = trees.into_iter().flatten().collect();
+        obs::counter("trees.trees_fit").add(trees.len() as u64);
         // Average per-tree importances.
         let mut importances = vec![0.0; data.n_features()];
         for t in &trees {
@@ -170,6 +173,7 @@ impl RandomForest {
 
     /// Batch prediction over a dataset's rows.
     pub fn predict_proba_all(&self, data: &Dataset) -> Vec<f64> {
+        let _span = obs::span!("forest.predict");
         (0..data.n_samples()).map(|i| self.predict_proba(data.row(i))).collect()
     }
 

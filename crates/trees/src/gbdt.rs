@@ -11,6 +11,7 @@
 
 use crate::cancel::CancelToken;
 use crate::dataset::Dataset;
+use hotspot_obs as obs;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -170,6 +171,7 @@ impl GradientBoosting {
     /// # Panics
     /// Panics on an empty dataset.
     pub fn fit(data: &Dataset, params: &GradientBoostingParams) -> Self {
+        let _span = obs::span!("gbdt.fit");
         assert!(data.n_samples() > 0, "cannot fit on an empty dataset");
         let n = data.n_samples();
         // Base score = log-odds of the weighted prevalence.
@@ -203,6 +205,7 @@ impl GradientBoosting {
             }
             trees.push(tree);
         }
+        obs::counter("trees.gbdt_rounds").add(trees.len() as u64);
         GradientBoosting {
             base_score,
             trees,

@@ -29,6 +29,10 @@ pub struct SplitCandidate {
 #[derive(Debug, Default)]
 pub struct SplitScratch {
     order: Vec<(f64, f64, f64)>, // (value, weight, positive_weight)
+    /// Split searches performed through this scratch. The tree builder
+    /// flushes the tally to the `trees.split_evaluations` counter once
+    /// per fit, keeping atomics out of the hot loop.
+    pub n_evaluations: u64,
 }
 
 impl SplitScratch {
@@ -52,6 +56,7 @@ pub fn best_split_on_feature(
     node_impurity: f64,
     scratch: &mut SplitScratch,
 ) -> Option<SplitCandidate> {
+    scratch.n_evaluations += 1;
     let order = &mut scratch.order;
     order.clear();
     order.reserve(indices.len());

@@ -8,6 +8,7 @@
 
 use crate::dataset::Dataset;
 use crate::split::{best_split_on_feature, gini, SplitCandidate, SplitScratch};
+use hotspot_obs as obs;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -126,6 +127,7 @@ impl DecisionTree {
         let mut scratch = SplitScratch::new();
         let mut feature_pool: Vec<usize> = (0..data.n_features()).collect();
         tree.build(data, all, 0, min_weight, &mut rng, &mut scratch, &mut feature_pool);
+        obs::counter("trees.split_evaluations").add(scratch.n_evaluations);
         // Normalise importances to sum to 1 (when any split happened).
         let total: f64 = tree.importances.iter().sum();
         if total > 0.0 {

@@ -18,6 +18,9 @@ cargo test -q
 echo '>>> clippy (workspace, -D warnings)'
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo '>>> observability smoke'
+scripts/obs_smoke.sh
+
 if [[ "${1:-}" == "--full" ]]; then
   echo '>>> full workspace tests'
   cargo test --workspace -q

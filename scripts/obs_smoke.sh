@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Observability smoke: run one small experiment end to end with
+# --manifest/--metrics-out and assert the artifacts exist and parse.
+#
+# fig02 exercises the full preparation pipeline (simulate → firewall →
+# impute → score), so the manifest carries real counters and spans
+# rather than just run annotations.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=target/obs-smoke
+rm -rf "$OUT"
+mkdir -p "$OUT"
+
+cargo build --release -p hotspot-bench --bin exp_fig02_score_labels --bin manifest_check
+
+echo '>>> obs smoke: exp_fig02_score_labels --sectors 40 --weeks 3'
+./target/release/exp_fig02_score_labels \
+  --sectors 40 --weeks 3 --seed 7 --log-level debug \
+  --manifest "$OUT/run.manifest.json" \
+  --metrics-out "$OUT/run.metrics.jsonl" \
+  > "$OUT/run.tsv"
+
+test -s "$OUT/run.tsv" || { echo 'obs smoke: empty TSV' >&2; exit 1; }
+./target/release/manifest_check "$OUT/run.manifest.json" "$OUT/run.metrics.jsonl"
+
+echo 'obs smoke passed.'

@@ -9,9 +9,16 @@ mkdir -p results
 
 run() {
   local name="$1"; shift
+  local stem="${name#exp_}"
   echo ">>> $name $*"
   local t0=$SECONDS
-  ./target/release/"$name" "$@" > "results/${name#exp_}.tsv"
+  # The metrics sink appends, so clear any stale stream first. Flags
+  # are parsed last-wins, so extra flags from the caller still win.
+  rm -f "results/${stem}.metrics.jsonl"
+  ./target/release/"$name" \
+    --manifest "results/${stem}.manifest.json" \
+    --metrics-out "results/${stem}.metrics.jsonl" \
+    "$@" > "results/${stem}.tsv"
   echo "    $((SECONDS-t0))s elapsed"
 }
 

@@ -2,14 +2,21 @@
 # Reduced-cost remainder of the experiment suite (single-core budget):
 # fewer trees and a thinner t axis than the defaults; EXPERIMENTS.md
 # records the flags next to each result.
-set -uo pipefail
+set -euo pipefail
 cd "$(dirname "$0")/.."
 FLAGS="--trees 15 --t-step 18"
 run() {
   local name="$1"; shift
+  local stem="${name#exp_}"
   echo ">>> $name $*"
   local t0=$SECONDS
-  ./target/release/"$name" "$@" > "results/${name#exp_}.tsv" 2>&1
+  rm -f "results/${stem}.metrics.jsonl"
+  # stderr (logger lines, progress) goes to a .log sidecar so the TSV
+  # stays machine-readable.
+  ./target/release/"$name" \
+    --manifest "results/${stem}.manifest.json" \
+    --metrics-out "results/${stem}.metrics.jsonl" \
+    "$@" > "results/${stem}.tsv" 2> "results/${stem}.log"
   echo "    $((SECONDS-t0))s elapsed"
 }
 run exp_fig11_become_lift $FLAGS

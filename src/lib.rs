@@ -19,6 +19,8 @@
 //! * [`eval`] — average precision, lift, KS tests, correlation.
 //! * [`analysis`] — hot-spot dynamics (Sec. III): run lengths, weekly
 //!   patterns, spatial correlation.
+//! * [`obs`] — spans, metrics, leveled logging, and run manifests
+//!   (the observability layer threaded through all of the above).
 //!
 //! ## Quickstart
 //!
@@ -39,6 +41,7 @@ pub use hotspot_eval as eval;
 pub use hotspot_features as features;
 pub use hotspot_forecast as forecast;
 pub use hotspot_nn as nn;
+pub use hotspot_obs as obs;
 pub use hotspot_simnet as simnet;
 pub use hotspot_trees as trees;
 
