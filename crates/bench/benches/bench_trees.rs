@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use hotspot_trees::{
     Dataset, DecisionTree, GradientBoosting, GradientBoostingParams, RandomForest,
-    RandomForestParams, TreeParams,
+    RandomForestParams, SplitStrategy, TreeParams,
 };
 use std::hint::black_box;
 
@@ -16,6 +16,36 @@ fn dataset(n: usize, d: usize) -> Dataset {
             features.push((((i * 37 + k * 11) % 97) as f64) / 97.0);
         }
         labels.push((i * 37 % 97) > 48);
+    }
+    let mut data = Dataset::new(features, d, labels).unwrap();
+    data.balance_weights();
+    data
+}
+
+/// A continuous-valued dataset at the sweep's working shape (~5k rows
+/// of 63 percentile features), where quantile binning actually has to
+/// merge values — the exact-vs-histogram comparison that motivates the
+/// engine.
+fn sweep_shaped_dataset(n: usize, d: usize) -> Dataset {
+    let mut features = Vec::with_capacity(n * d);
+    let mut labels = Vec::new();
+    let mut state = 0x2545_F491_4F6C_DD1Du64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for _ in 0..n {
+        let mut hot = 0.0;
+        for k in 0..d {
+            let v = next();
+            if k % 9 == 0 {
+                hot += v;
+            }
+            features.push(v);
+        }
+        labels.push(hot > (d / 9) as f64 * 0.55);
     }
     let mut data = Dataset::new(features, d, labels).unwrap();
     data.balance_weights();
@@ -56,6 +86,17 @@ fn bench_trees(c: &mut Criterion) {
             )
         })
     });
+
+    // Exact vs histogram head-to-head at the sweep's working shape.
+    let big = sweep_shaped_dataset(5000, 63);
+    for (name, split) in [
+        ("forest5_fit_5000x63_exact", SplitStrategy::Exact),
+        ("forest5_fit_5000x63_hist", SplitStrategy::default()),
+    ] {
+        let params = RandomForestParams { n_trees: 5, n_threads: Some(1), ..RandomForestParams::paper() }
+            .with_split(split);
+        c.bench_function(name, |b| b.iter(|| RandomForest::fit(black_box(&big), &params)));
+    }
 }
 
 criterion_group! {

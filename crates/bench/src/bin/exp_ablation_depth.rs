@@ -24,8 +24,11 @@ fn main() {
     let builder = DailyPercentiles;
 
     let variants: Vec<(&str, TreeParams)> = vec![
-        ("tree_2pct_stop", TreeParams::paper_tree()),
-        ("tree_0.02pct_stop", TreeParams::paper_forest_member()),
+        ("tree_2pct_stop", TreeParams { split: opts.split_strategy(), ..TreeParams::paper_tree() }),
+        (
+            "tree_0.02pct_stop",
+            TreeParams { split: opts.split_strategy(), ..TreeParams::paper_forest_member() },
+        ),
         (
             "tree_depth_3",
             TreeParams {
@@ -33,6 +36,7 @@ fn main() {
                 min_weight_fraction: 0.0,
                 max_depth: Some(3),
                 seed: 0,
+                split: opts.split_strategy(),
             },
         ),
     ];
@@ -99,6 +103,7 @@ fn main() {
         seed: opts.seed,
         n_threads: None,
         resilience: Default::default(),
+        split: opts.split_strategy(),
     };
     let result = hotspot_forecast::sweep::run_sweep(&ctx, &config);
     let (mean, ci) = result.mean_lift(ModelSpec::RfF1, h, w);

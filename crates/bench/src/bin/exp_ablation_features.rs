@@ -30,6 +30,7 @@ fn main() {
         seed: opts.seed,
         n_threads: None,
         resilience: Default::default(),
+        split: opts.split_strategy(),
     };
     let result = run_sweep(&ctx, &config);
     print_section("mean lift by representation");

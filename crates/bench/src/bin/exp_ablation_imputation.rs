@@ -39,6 +39,7 @@ fn main() {
             seed: opts.seed,
             n_threads: None,
             resilience: Default::default(),
+            split: opts.split_strategy(),
         };
         let result = run_sweep(&ctx, &config);
         let (mean, ci) = result.mean_lift(ModelSpec::RfF1, 5, 7);

@@ -30,7 +30,7 @@ fn importance_experiment(name: &str, target: Target) {
             continue;
         }
         let mut config = ModelSpec::RfR
-            .classifier_config(opts.trees, opts.train_days, opts.seed)
+            .classifier_config(opts.trees, opts.train_days, opts.seed, opts.split_strategy())
             .expect("classifier");
         config.forest_threads = Some(1);
         let Some(fitted) = fit_and_forecast(&ctx, &spec, &config) else { continue };

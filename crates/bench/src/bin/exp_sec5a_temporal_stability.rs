@@ -36,6 +36,7 @@ fn main() {
         seed: opts.seed,
         n_threads: None,
         resilience: resilience(&opts),
+        split: opts.split_strategy(),
     };
     let result = run_sweep_with_options(&ctx, &config, &opts);
 

@@ -1,0 +1,233 @@
+//! Per-stage performance baseline for the tree substrate (ROADMAP:
+//! "per-stage performance baselines").
+//!
+//! Fits the same forest with exact and histogram split finding at the
+//! sweep's working shape (5000 rows × 63 features) and records wall
+//! clock plus the `trees.split_evaluations` counter for each engine.
+//!
+//!   perf_baseline --record [--path BENCH_trees.json]
+//!   perf_baseline --check  [--path BENCH_trees.json]
+//!
+//! `--record` pins the current numbers to the baseline file. `--check`
+//! (the CI mode, see scripts/perf_baseline.sh) re-measures and
+//!   * asserts the split-evaluation counts match the baseline exactly —
+//!     they are a deterministic property of the algorithm, so any drift
+//!     is a behaviour change, not noise;
+//!   * asserts histogram predictions are identical across thread counts
+//!     and repeated runs (determinism gate);
+//!   * flags wall-clock regressions beyond a generous tolerance band
+//!     (machines vary; the counter assertion is the hard gate).
+
+use hotspot_obs as obs;
+use hotspot_trees::{Dataset, RandomForest, RandomForestParams, SplitStrategy};
+use std::time::Instant;
+
+const N_ROWS: usize = 5000;
+const N_FEATURES: usize = 63;
+const N_TREES: usize = 10;
+const SEED_MIX: u64 = 0x2545_F491_4F6C_DD1D;
+/// Wall-clock tolerance: flag when a stage is slower than baseline by
+/// more than this factor.
+const TIME_TOLERANCE: f64 = 1.5;
+
+/// Deterministic continuous-valued dataset at the sweep's shape (xorshift).
+fn dataset() -> Dataset {
+    let mut features = Vec::with_capacity(N_ROWS * N_FEATURES);
+    let mut labels = Vec::new();
+    let mut state = SEED_MIX;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for _ in 0..N_ROWS {
+        let mut hot = 0.0;
+        for k in 0..N_FEATURES {
+            let v = next();
+            if k % 9 == 0 {
+                hot += v;
+            }
+            features.push(v);
+        }
+        labels.push(hot > (N_FEATURES / 9) as f64 * 0.55);
+    }
+    let mut data = Dataset::new(features, N_FEATURES, labels).unwrap();
+    data.balance_weights();
+    data
+}
+
+struct Stage {
+    name: &'static str,
+    millis: f64,
+    split_evaluations: u64,
+}
+
+/// Fit once with `split`, returning timing, evaluation-counter delta,
+/// and the fitted forest's predictions on the training rows.
+fn fit_stage(
+    name: &'static str,
+    data: &Dataset,
+    split: SplitStrategy,
+    n_threads: Option<usize>,
+) -> (Stage, Vec<f64>) {
+    let params = RandomForestParams { n_trees: N_TREES, n_threads, ..RandomForestParams::paper() }
+        .with_split(split);
+    let before = obs::counter("trees.split_evaluations").get();
+    let started = Instant::now();
+    let forest = RandomForest::fit(data, &params);
+    let millis = started.elapsed().as_secs_f64() * 1e3;
+    let split_evaluations = obs::counter("trees.split_evaluations").get() - before;
+    (Stage { name, millis, split_evaluations }, forest.predict_proba_all(data))
+}
+
+/// Best-of-`REPEATS` timing for one engine; asserts the evaluation
+/// count and the predictions are identical on every repetition.
+fn best_of(
+    name: &'static str,
+    data: &Dataset,
+    split: SplitStrategy,
+    n_threads: Option<usize>,
+) -> (Stage, Vec<f64>) {
+    const REPEATS: usize = 5;
+    let (mut best, preds) = fit_stage(name, data, split, n_threads);
+    for _ in 1..REPEATS {
+        let (again, preds_again) = fit_stage(name, data, split, n_threads);
+        assert_eq!(
+            best.split_evaluations, again.split_evaluations,
+            "{name}: split_evaluations must be deterministic across runs"
+        );
+        assert_eq!(preds, preds_again, "{name}: predictions must be deterministic across runs");
+        best.millis = best.millis.min(again.millis);
+    }
+    (best, preds)
+}
+
+fn measure() -> (Vec<Stage>, f64) {
+    let data = dataset();
+    let (exact, _) = best_of("forest_fit_exact", &data, SplitStrategy::Exact, Some(1));
+    let (hist, preds_1t) = best_of("forest_fit_hist", &data, SplitStrategy::default(), Some(1));
+
+    // Determinism gate: same counts and bit-identical predictions when
+    // refit under a different thread count.
+    let (hist_4t, preds_4t) = fit_stage("forest_fit_hist", &data, SplitStrategy::default(), Some(4));
+    assert_eq!(
+        hist.split_evaluations, hist_4t.split_evaluations,
+        "split_evaluations must not depend on thread count"
+    );
+    assert_eq!(preds_1t, preds_4t, "histogram predictions must not depend on thread count");
+
+    let speedup = exact.millis / hist.millis;
+    (vec![exact, hist], speedup)
+}
+
+fn to_json(stages: &[Stage], speedup: f64) -> obs::Json {
+    let entries: Vec<obs::Json> = stages
+        .iter()
+        .map(|s| {
+            obs::Json::obj(vec![
+                ("name", obs::Json::Str(s.name.into())),
+                ("millis", obs::Json::Num(s.millis)),
+                ("split_evaluations", obs::Json::Num(s.split_evaluations as f64)),
+            ])
+        })
+        .collect();
+    obs::Json::obj(vec![
+        ("bench", obs::Json::Str(format!("forest{N_TREES}_fit_{N_ROWS}x{N_FEATURES}"))),
+        ("recorded_unix_ms", obs::Json::Num(obs::unix_ms() as f64)),
+        ("speedup_exact_over_hist", obs::Json::Num(speedup)),
+        ("stages", obs::Json::Arr(entries)),
+    ])
+}
+
+fn check(path: &std::path::Path, stages: &[Stage], speedup: f64) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read baseline {}: {e} (run --record first)", path.display());
+            return 2;
+        }
+    };
+    let baseline = obs::Json::parse(&text).expect("baseline file must be valid JSON");
+    let recorded = baseline.get("stages").and_then(|s| s.as_arr()).expect("stages array");
+    let mut failures = 0;
+    for stage in stages {
+        let Some(rec) = recorded
+            .iter()
+            .find(|r| r.get("name").and_then(|n| n.as_str()) == Some(stage.name))
+        else {
+            eprintln!("FAIL {}: not in baseline (re-record?)", stage.name);
+            failures += 1;
+            continue;
+        };
+        let rec_evals = rec.get("split_evaluations").and_then(|v| v.as_f64()).unwrap_or(-1.0);
+        if rec_evals as u64 != stage.split_evaluations {
+            eprintln!(
+                "FAIL {}: split_evaluations {} != baseline {} (behaviour changed — \
+                 re-record deliberately)",
+                stage.name, stage.split_evaluations, rec_evals as u64
+            );
+            failures += 1;
+        }
+        let rec_ms = rec.get("millis").and_then(|v| v.as_f64()).unwrap_or(f64::NAN);
+        if stage.millis > rec_ms * TIME_TOLERANCE {
+            // Flagged, not fatal: wall clock varies across machines.
+            eprintln!(
+                "WARN {}: {:.1} ms vs baseline {:.1} ms (>{TIME_TOLERANCE}x band)",
+                stage.name, stage.millis, rec_ms
+            );
+        } else {
+            println!(
+                "ok   {}: {:.1} ms (baseline {:.1} ms), {} split evaluations",
+                stage.name, stage.millis, rec_ms, stage.split_evaluations
+            );
+        }
+    }
+    println!("speedup exact/hist: {speedup:.2}x");
+    if speedup < 1.0 {
+        eprintln!("WARN histogram slower than exact on this machine ({speedup:.2}x)");
+    }
+    if failures > 0 {
+        eprintln!("perf baseline check FAILED ({failures} hard failures)");
+        1
+    } else {
+        println!("perf baseline check passed.");
+        0
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut record = false;
+    let mut check_mode = false;
+    let mut path = std::path::PathBuf::from("BENCH_trees.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--record" => record = true,
+            "--check" => check_mode = true,
+            "--path" => path = it.next().expect("missing value for --path").into(),
+            other => {
+                eprintln!("unknown flag '{other}' (usage: perf_baseline --record|--check [--path FILE])");
+                std::process::exit(2);
+            }
+        }
+    }
+    if record == check_mode {
+        eprintln!("pass exactly one of --record or --check");
+        std::process::exit(2);
+    }
+
+    let (stages, speedup) = measure();
+    if record {
+        let json = to_json(&stages, speedup);
+        std::fs::write(&path, json.render() + "\n").expect("write baseline");
+        for s in &stages {
+            println!("{}: {:.1} ms, {} split evaluations", s.name, s.millis, s.split_evaluations);
+        }
+        println!("speedup exact/hist: {speedup:.2}x");
+        println!("baseline recorded to {}", path.display());
+    } else {
+        std::process::exit(check(&path, &stages, speedup));
+    }
+}

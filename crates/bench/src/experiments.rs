@@ -81,6 +81,7 @@ pub fn horizon_sweep(
         seed: opts.seed,
         n_threads: None,
         resilience: resilience(opts),
+        split: opts.split_strategy(),
     };
     run_sweep_with_options(ctx, &config, opts)
 }
@@ -105,6 +106,7 @@ pub fn window_sweep(
         seed: opts.seed,
         n_threads: None,
         resilience: resilience(opts),
+        split: opts.split_strategy(),
     };
     run_sweep_with_options(ctx, &config, opts)
 }

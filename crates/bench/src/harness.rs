@@ -70,7 +70,7 @@ impl Experiment {
 /// re-run into different files is still the same experiment.
 fn identity(name: &str, opts: &RunOptions) -> String {
     format!(
-        "{name}|{}|{}|{}|{}|{}|{}|{:?}|{:?}|{}|{}|{:?}",
+        "{name}|{}|{}|{}|{}|{}|{}|{:?}|{:?}|{}|{}|{:?}|{:?}",
         opts.sectors,
         opts.weeks,
         opts.seed,
@@ -82,6 +82,7 @@ fn identity(name: &str, opts: &RunOptions) -> String {
         opts.full,
         opts.firewall,
         opts.cell_deadline_ms,
+        opts.split_strategy(),
     )
 }
 
@@ -144,6 +145,14 @@ mod tests {
 
         let reseeded = RunOptions { seed: base.seed + 1, ..base.clone() };
         assert_ne!(fp("fig09", &base), fp("fig09", &reseeded), "seed matters");
+
+        let exact = RunOptions { exact_splits: true, ..base.clone() };
+        assert_ne!(fp("fig09", &base), fp("fig09", &exact), "split strategy matters");
+        let coarse = RunOptions { max_bins: 16, ..base.clone() };
+        assert_ne!(fp("fig09", &base), fp("fig09", &coarse), "bin budget matters");
+        // --max-bins is plumbing when the strategy is exact.
+        let exact_coarse = RunOptions { max_bins: 16, ..exact.clone() };
+        assert_eq!(fp("fig09", &exact), fp("fig09", &exact_coarse), "bins ignored under exact");
 
         let redirected = RunOptions {
             manifest: Some("/tmp/elsewhere.json".into()),

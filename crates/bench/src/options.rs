@@ -54,6 +54,12 @@ pub struct RunOptions {
     /// Write a JSON run manifest (config fingerprint, seed, timings,
     /// final metrics snapshot) to this file when the run finishes.
     pub manifest: Option<std::path::PathBuf>,
+    /// Force exact (sorted-scan) split finding instead of the default
+    /// histogram engine.
+    pub exact_splits: bool,
+    /// Histogram bin budget per feature (`--max-bins`); ignored when
+    /// `--split-strategy exact` is set.
+    pub max_bins: u16,
 }
 
 impl Default for RunOptions {
@@ -75,6 +81,8 @@ impl Default for RunOptions {
             log_level: None,
             metrics_out: None,
             manifest: None,
+            exact_splits: false,
+            max_bins: hotspot_trees::SplitStrategy::DEFAULT_MAX_BINS,
         }
     }
 }
@@ -144,13 +152,31 @@ impl RunOptions {
                     opts.metrics_out = Some(take(&mut args, "--metrics-out").into())
                 }
                 "--manifest" => opts.manifest = Some(take(&mut args, "--manifest").into()),
+                "--split-strategy" => {
+                    opts.exact_splits = match take(&mut args, "--split-strategy").as_str() {
+                        "exact" => true,
+                        "histogram" | "hist" => false,
+                        other => {
+                            eprintln!("unknown split strategy '{other}' (exact|histogram)");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+                "--max-bins" => {
+                    let v = parse_num(&take(&mut args, "--max-bins"), "--max-bins");
+                    if v == 0 || v > u16::MAX as usize {
+                        eprintln!("--max-bins must be in 1..=65535, got {v}");
+                        std::process::exit(2);
+                    }
+                    opts.max_bins = v as u16;
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --sectors N --weeks N --seed N --trees N --train-days N \
                          --t-step N --imputer (ffill|mean|ae) --failure-rate F --full \
                          --checkpoint PATH --resume --firewall --cell-deadline-ms N \
                          --log-level (error|warn|info|debug) --metrics-out PATH \
-                         --manifest PATH"
+                         --manifest PATH --split-strategy (exact|histogram) --max-bins N"
                     );
                     std::process::exit(0);
                 }
@@ -170,6 +196,17 @@ impl RunOptions {
     /// Parse from the process arguments.
     pub fn from_env() -> Self {
         Self::parse(std::env::args().skip(1))
+    }
+
+    /// The tree split-finding strategy these options select. Combines
+    /// `--split-strategy` and `--max-bins` after parsing so flag order
+    /// never matters.
+    pub fn split_strategy(&self) -> hotspot_trees::SplitStrategy {
+        if self.exact_splits {
+            hotspot_trees::SplitStrategy::Exact
+        } else {
+            hotspot_trees::SplitStrategy::Histogram { max_bins: self.max_bins }
+        }
     }
 
     /// The Table III `t` values this run evaluates (thinned by
@@ -252,6 +289,24 @@ mod tests {
         let d = parse(&[]);
         assert_eq!(d.log_level, None);
         assert!(d.metrics_out.is_none() && d.manifest.is_none());
+    }
+
+    #[test]
+    fn parses_split_strategy_flags() {
+        use hotspot_trees::SplitStrategy;
+        let d = parse(&[]);
+        assert!(!d.exact_splits);
+        assert_eq!(
+            d.split_strategy(),
+            SplitStrategy::Histogram { max_bins: SplitStrategy::DEFAULT_MAX_BINS }
+        );
+        let e = parse(&["--split-strategy", "exact"]);
+        assert_eq!(e.split_strategy(), SplitStrategy::Exact);
+        let h = parse(&["--split-strategy", "hist", "--max-bins", "64"]);
+        assert_eq!(h.split_strategy(), SplitStrategy::Histogram { max_bins: 64 });
+        // Flag order must not matter: --max-bins before --split-strategy.
+        let swapped = parse(&["--max-bins", "64", "--split-strategy", "histogram"]);
+        assert_eq!(swapped.split_strategy(), SplitStrategy::Histogram { max_bins: 64 });
     }
 
     #[test]

@@ -31,7 +31,7 @@ const MAGIC: &str = "# hotspot-sweep-checkpoint v1";
 /// machine shape is still the same sweep.
 fn fingerprint(config: &SweepConfig) -> u64 {
     let identity = format!(
-        "{:?}|{:?}|{:?}|{:?}|{}|{}|{}|{}|{:?}",
+        "{:?}|{:?}|{:?}|{:?}|{}|{}|{}|{}|{:?}|{:?}",
         config.models.iter().map(|m| m.name()).collect::<Vec<_>>(),
         config.ts,
         config.hs,
@@ -41,6 +41,7 @@ fn fingerprint(config: &SweepConfig) -> u64 {
         config.random_repeats,
         config.seed,
         config.resilience,
+        config.split,
     );
     let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
     for b in identity.bytes() {
@@ -279,6 +280,7 @@ mod tests {
             seed: 3,
             n_threads: Some(2),
             resilience: ResiliencePolicy::default(),
+            split: hotspot_trees::SplitStrategy::default(),
         }
     }
 
@@ -401,6 +403,10 @@ mod tests {
         let mut c = config();
         c.seed = 4;
         assert_ne!(fingerprint(&a), fingerprint(&c));
+        // The split engine changes cell outcomes, so it must bind.
+        let mut d = config();
+        d.split = hotspot_trees::SplitStrategy::Exact;
+        assert_ne!(fingerprint(&a), fingerprint(&d));
     }
 
     #[test]

@@ -16,7 +16,7 @@ use hotspot_features::windows::{forecast_window_days, train_window_days, WindowS
 use hotspot_core::matrix::Matrix;
 use hotspot_trees::{
     CancelToken, Dataset, DecisionTree, GradientBoosting, GradientBoostingParams, RandomForest,
-    RandomForestParams, TreeParams,
+    RandomForestParams, SplitStrategy, TreeParams,
 };
 
 /// Boxed scoring closure mapping a feature row to a probability.
@@ -77,6 +77,9 @@ pub struct ClassifierConfig {
     /// installs a deadline token here; callers that do not need one
     /// leave it `None`.
     pub cancel: Option<CancelToken>,
+    /// Split-search strategy for every tree-based estimator
+    /// (histogram by default; exact for reference runs).
+    pub split: SplitStrategy,
 }
 
 impl ClassifierConfig {
@@ -90,6 +93,7 @@ impl ClassifierConfig {
             seed: 0,
             forest_threads: None,
             cancel: None,
+            split: SplitStrategy::default(),
         }
     }
 }
@@ -251,7 +255,11 @@ pub fn fit_and_forecast(
         ClassifierKind::Tree => {
             let tree = DecisionTree::fit(
                 &data,
-                &TreeParams { seed: config.seed, ..TreeParams::paper_tree() },
+                &TreeParams {
+                    seed: config.seed,
+                    split: config.split,
+                    ..TreeParams::paper_tree()
+                },
             );
             importances = tree.feature_importances().to_vec();
             predict = Box::new(move |row| tree.predict_proba(row));
@@ -270,6 +278,7 @@ pub fn fit_and_forecast(
             params.n_threads = config.forest_threads;
             params.cancel = config.cancel.clone();
             params.tree.min_weight_fraction = min_frac;
+            params.tree.split = config.split;
             let forest = RandomForest::fit(&data, &params);
             importances = forest.feature_importances().to_vec();
             predict = Box::new(move |row| forest.predict_proba(row));
@@ -281,6 +290,7 @@ pub fn fit_and_forecast(
                     n_rounds: config.n_trees.max(1),
                     seed: config.seed,
                     cancel: config.cancel.clone(),
+                    split: config.split,
                     ..Default::default()
                 },
             );
@@ -351,6 +361,7 @@ mod tests {
             seed: 5,
             forest_threads: Some(2),
             cancel: None,
+            split: SplitStrategy::default(),
         }
     }
 

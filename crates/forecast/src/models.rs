@@ -6,6 +6,7 @@ use crate::baselines::{average_forecast, persist_forecast, random_forecast, tren
 use crate::classifier::{fit_and_forecast, ClassifierConfig, ClassifierKind, Representation};
 use crate::context::ForecastContext;
 use hotspot_features::windows::WindowSpec;
+use hotspot_trees::SplitStrategy;
 
 /// One of the paper's models (Table III), plus the GBDT extension.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -84,7 +85,13 @@ impl ModelSpec {
     }
 
     /// The classifier configuration, for classifier models.
-    pub fn classifier_config(self, n_trees: usize, train_days: usize, seed: u64) -> Option<ClassifierConfig> {
+    pub fn classifier_config(
+        self,
+        n_trees: usize,
+        train_days: usize,
+        seed: u64,
+        split: SplitStrategy,
+    ) -> Option<ClassifierConfig> {
         let (kind, representation) = match self {
             ModelSpec::Tree => (ClassifierKind::Tree, Representation::Raw),
             ModelSpec::RfR => (ClassifierKind::Forest, Representation::Raw),
@@ -101,12 +108,15 @@ impl ModelSpec {
             seed,
             forest_threads: None,
             cancel: None,
+            split,
         })
     }
 
     /// Run the model at `(t, h, w)` and return per-sector ranking
     /// scores for day `t + h`. Returns `None` when the model's input
     /// window cannot be formed.
+    /// `split` selects the tree split-search engine; baselines ignore
+    /// it.
     pub fn forecast(
         self,
         ctx: &ForecastContext,
@@ -114,6 +124,7 @@ impl ModelSpec {
         n_trees: usize,
         train_days: usize,
         seed: u64,
+        split: SplitStrategy,
     ) -> Option<Vec<f64>> {
         match self {
             ModelSpec::Random => Some(random_forecast(ctx, spec, seed)),
@@ -122,7 +133,7 @@ impl ModelSpec {
             ModelSpec::Trend => Some(trend_forecast(ctx, spec)),
             _ => {
                 let config = self
-                    .classifier_config(n_trees, train_days, seed)
+                    .classifier_config(n_trees, train_days, seed, split)
                     .expect("classifier model");
                 fit_and_forecast(ctx, spec, &config).map(|f| f.predictions)
             }
@@ -171,8 +182,10 @@ mod tests {
     fn classifier_flags() {
         assert!(!ModelSpec::Average.is_classifier());
         assert!(ModelSpec::RfF1.is_classifier());
-        assert!(ModelSpec::Average.classifier_config(10, 1, 0).is_none());
-        assert!(ModelSpec::Tree.classifier_config(10, 1, 0).is_some());
+        assert!(ModelSpec::Average
+            .classifier_config(10, 1, 0, SplitStrategy::default())
+            .is_none());
+        assert!(ModelSpec::Tree.classifier_config(10, 1, 0, SplitStrategy::default()).is_some());
     }
 
     #[test]
@@ -180,7 +193,9 @@ mod tests {
         let c = ctx();
         let spec = WindowSpec::new(16, 2, 7);
         for m in ModelSpec::PAPER.iter().chain([&ModelSpec::Gbdt]) {
-            let scores = m.forecast(&c, &spec, 8, 3, 1).unwrap_or_else(|| panic!("{m} failed"));
+            let scores = m
+                .forecast(&c, &spec, 8, 3, 1, SplitStrategy::default())
+                .unwrap_or_else(|| panic!("{m} failed"));
             assert_eq!(scores.len(), 6, "{m}");
             assert!(scores.iter().all(|s| s.is_finite()), "{m}");
         }

@@ -23,7 +23,7 @@ use crate::models::ModelSpec;
 use hotspot_core::error::Result as CoreResult;
 use hotspot_features::windows::WindowSpec;
 use hotspot_obs as obs;
-use hotspot_trees::CancelToken;
+use hotspot_trees::{CancelToken, SplitStrategy};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -160,6 +160,8 @@ pub struct SweepConfig {
     pub n_threads: Option<usize>,
     /// Fault-tolerance policy.
     pub resilience: ResiliencePolicy,
+    /// Split-search strategy for every tree-based model in the grid.
+    pub split: SplitStrategy,
 }
 
 impl SweepConfig {
@@ -177,6 +179,7 @@ impl SweepConfig {
             seed: 0,
             n_threads: None,
             resilience: ResiliencePolicy::default(),
+            split: SplitStrategy::default(),
         }
     }
 }
@@ -597,13 +600,13 @@ fn run_cell_once(
     let seed = attempt_seed(config.seed, attempt);
     let predictions = if model.is_classifier() {
         let mut cc = model
-            .classifier_config(config.n_trees, config.train_days, seed)
+            .classifier_config(config.n_trees, config.train_days, seed, config.split)
             .expect("classifier");
         cc.forest_threads = Some(1); // the sweep already parallelises
         cc.cancel = cancel.cloned();
         fit_and_forecast(ctx, &spec, &cc).map(|f| f.predictions)
     } else {
-        model.forecast(ctx, &spec, config.n_trees, config.train_days, seed)
+        model.forecast(ctx, &spec, config.n_trees, config.train_days, seed, config.split)
     };
     if cancel.is_some_and(|c| c.is_cancelled()) {
         // The deadline fired mid-fit; whatever came back is a partial
@@ -659,6 +662,7 @@ mod tests {
             seed: 3,
             n_threads: Some(2),
             resilience: ResiliencePolicy::default(),
+            split: SplitStrategy::default(),
         }
     }
 

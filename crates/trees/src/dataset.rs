@@ -114,9 +114,15 @@ impl Dataset {
     /// Set explicit per-sample weights.
     ///
     /// # Panics
-    /// Panics if the length differs from the sample count.
+    /// Panics if the length differs from the sample count, or if any
+    /// weight is non-finite or negative — split search relies on the
+    /// same finiteness guarantee the constructor enforces for features
+    /// (a `NaN` weight would silently poison every impurity sum).
     pub fn set_weights(&mut self, weights: Vec<f64>) {
         assert_eq!(weights.len(), self.labels.len(), "weight count mismatch");
+        if let Some(i) = weights.iter().position(|w| !w.is_finite() || *w < 0.0) {
+            panic!("weight {} at index {i} must be finite and non-negative", weights[i]);
+        }
         self.weights = weights;
     }
 
@@ -152,6 +158,12 @@ impl Dataset {
     #[inline]
     pub fn weight(&self, i: usize) -> f64 {
         self.weights[i]
+    }
+
+    /// All sample weights, indexed by row.
+    #[inline]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
     }
 
     /// Total weight over all samples.
@@ -255,6 +267,34 @@ mod tests {
         d.balance_weights();
         assert_eq!(d.weight(0), 1.0);
         assert_eq!(d.weight(1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite and non-negative")]
+    fn set_weights_rejects_nan() {
+        let mut d = toy();
+        d.set_weights(vec![1.0, f64::NAN, 1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite and non-negative")]
+    fn set_weights_rejects_negative() {
+        let mut d = toy();
+        d.set_weights(vec![1.0, -0.5, 1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite and non-negative")]
+    fn set_weights_rejects_infinite() {
+        let mut d = toy();
+        d.set_weights(vec![1.0, 1.0, f64::INFINITY, 1.0]);
+    }
+
+    #[test]
+    fn set_weights_accepts_zero() {
+        let mut d = toy();
+        d.set_weights(vec![0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(d.weights(), &[0.0, 1.0, 2.0, 3.0]);
     }
 
     #[test]

@@ -98,6 +98,7 @@ mod tests {
                 min_weight_fraction: 0.0,
                 max_depth: None,
                 seed: 1,
+                split: crate::binned::SplitStrategy::default(),
             },
         )
     }

@@ -6,6 +6,7 @@
 //! probabilities (the soft-voting variant scikit-learn implements).
 //! Trees are fit in parallel with crossbeam scoped threads.
 
+use crate::binned::{BinnedDataset, SplitStrategy, HIST_MIN_NODE_ROWS};
 use crate::cancel::CancelToken;
 use crate::dataset::Dataset;
 use crate::tree::{DecisionTree, TreeParams};
@@ -63,6 +64,14 @@ impl RandomForestParams {
         self.n_trees = n;
         self
     }
+
+    /// Override the split-search strategy fluently (it lives on the
+    /// per-tree params; all trees of a forest share one strategy and,
+    /// under histograms, one [`BinnedDataset`]).
+    pub fn with_split(mut self, split: SplitStrategy) -> Self {
+        self.tree.split = split;
+        self
+    }
 }
 
 impl Default for RandomForestParams {
@@ -77,11 +86,17 @@ pub struct RandomForest {
     trees: Vec<DecisionTree>,
     importances: Vec<f64>,
     n_features: usize,
+    n_threads: Option<usize>,
 }
 
 impl RandomForest {
     /// Fit the ensemble. Weights on `data` are respected (bootstrap
     /// resampling keeps each drawn sample's weight).
+    ///
+    /// Under [`SplitStrategy::Histogram`] the features are binned
+    /// *once* here and the read-only [`BinnedDataset`] is shared by
+    /// every tree — bootstrap resamples are row-index multisets into
+    /// the same rows, so no per-tree re-binning is needed.
     ///
     /// # Panics
     /// Panics on an empty dataset or zero trees.
@@ -95,6 +110,13 @@ impl RandomForest {
                 std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
             })
             .clamp(1, params.n_trees);
+        let binned = match params.tree.split {
+            SplitStrategy::Histogram { max_bins } if data.n_samples() >= HIST_MIN_NODE_ROWS => {
+                Some(BinnedDataset::build(data, max_bins))
+            }
+            _ => None,
+        };
+        let binned = binned.as_ref();
 
         let mut trees: Vec<Option<DecisionTree>> = vec![None; params.n_trees];
         crossbeam::thread::scope(|scope| {
@@ -107,7 +129,7 @@ impl RandomForest {
                             break;
                         }
                         let t = shard_id * chunk + off;
-                        *slot = Some(Self::fit_one(data, params, t as u64));
+                        *slot = Some(Self::fit_one(data, binned, params, t as u64));
                     }
                 });
             }
@@ -131,33 +153,36 @@ impl RandomForest {
                 *v /= total;
             }
         }
-        RandomForest { trees, importances, n_features: data.n_features() }
+        RandomForest {
+            trees,
+            importances,
+            n_features: data.n_features(),
+            n_threads: params.n_threads,
+        }
     }
 
-    fn fit_one(data: &Dataset, params: &RandomForestParams, t: u64) -> DecisionTree {
+    fn fit_one(
+        data: &Dataset,
+        binned: Option<&BinnedDataset>,
+        params: &RandomForestParams,
+        t: u64,
+    ) -> DecisionTree {
         let tree_params = TreeParams {
             seed: params.seed.wrapping_mul(0x9E37_79B9).wrapping_add(t),
             ..params.tree.clone()
         };
-        if !params.bootstrap {
-            return DecisionTree::fit(data, &tree_params);
-        }
-        // Bootstrap resample: materialise the drawn rows.
+        // Bootstrap resample as a row-index multiset in draw order —
+        // no row materialisation, and the shared binned view stays
+        // valid for every tree.
         let n = data.n_samples();
-        let d = data.n_features();
-        let mut rng = StdRng::seed_from_u64(params.seed ^ (t.wrapping_mul(0xA24B_AED4_963E_E407)));
-        let mut features = Vec::with_capacity(n * d);
-        let mut labels = Vec::with_capacity(n);
-        let mut weights = Vec::with_capacity(n);
-        for _ in 0..n {
-            let i = rng.random_range(0..n);
-            features.extend_from_slice(data.row(i));
-            labels.push(data.label(i));
-            weights.push(data.weight(i));
-        }
-        let mut boot = Dataset::new(features, d, labels).expect("bootstrap preserves validity");
-        boot.set_weights(weights);
-        DecisionTree::fit(&boot, &tree_params)
+        let root: Vec<usize> = if params.bootstrap {
+            let mut rng =
+                StdRng::seed_from_u64(params.seed ^ (t.wrapping_mul(0xA24B_AED4_963E_E407)));
+            (0..n).map(|_| rng.random_range(0..n)).collect()
+        } else {
+            (0..n).collect()
+        };
+        DecisionTree::fit_with_shared(data, binned, root, &tree_params)
     }
 
     /// Mean positive-class probability over the ensemble. A forest
@@ -171,10 +196,37 @@ impl RandomForest {
         sum / self.trees.len() as f64
     }
 
-    /// Batch prediction over a dataset's rows.
+    /// Batch prediction over a dataset's rows, parallelised over row
+    /// chunks with the same scoped-thread pattern (and `n_threads`
+    /// bound) as fitting. Rows are independent, so the output is
+    /// identical at any thread count.
     pub fn predict_proba_all(&self, data: &Dataset) -> Vec<f64> {
         let _span = obs::span!("forest.predict");
-        (0..data.n_samples()).map(|i| self.predict_proba(data.row(i))).collect()
+        let n = data.n_samples();
+        // Below this many rows per thread, spawn overhead dominates.
+        const MIN_ROWS_PER_THREAD: usize = 256;
+        let threads = self
+            .n_threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1)
+            })
+            .clamp(1, n.div_ceil(MIN_ROWS_PER_THREAD).max(1));
+        if threads <= 1 {
+            return (0..n).map(|i| self.predict_proba(data.row(i))).collect();
+        }
+        let mut out = vec![0.0; n];
+        let chunk = n.div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            for (c, slot) in out.chunks_mut(chunk).enumerate() {
+                scope.spawn(move |_| {
+                    for (off, o) in slot.iter_mut().enumerate() {
+                        *o = self.predict_proba(data.row(c * chunk + off));
+                    }
+                });
+            }
+        })
+        .expect("prediction thread panicked");
+        out
     }
 
     /// Averaged, normalised feature importances.
@@ -246,6 +298,40 @@ mod tests {
         );
         for i in 0..d.n_samples() {
             assert_eq!(a.predict_proba(d.row(i)), b.predict_proba(d.row(i)));
+        }
+    }
+
+    #[test]
+    fn histogram_matches_exact_on_training_rows() {
+        // 120 rows of continuous features: fewer distinct values than
+        // 255 bins, so every feature gets one bin per distinct value
+        // and the two strategies must grow identical trees. Bootstrap
+        // is off so every row is in-bag for every tree — thresholds
+        // are only guaranteed to agree on rows the node actually saw
+        // (DESIGN.md §9).
+        let d = blobs(3, 120);
+        let base = RandomForestParams { bootstrap: false, ..small_params(9) };
+        let exact = RandomForest::fit(&d, &base.clone().with_split(SplitStrategy::Exact));
+        let hist = RandomForest::fit(
+            &d,
+            &base.with_split(SplitStrategy::Histogram { max_bins: 255 }),
+        );
+        for i in 0..d.n_samples() {
+            assert_eq!(exact.predict_proba(d.row(i)), hist.predict_proba(d.row(i)), "row {i}");
+        }
+    }
+
+    #[test]
+    fn parallel_batch_prediction_matches_serial() {
+        let d = blobs(8, 600);
+        let f = RandomForest::fit(
+            &d,
+            &RandomForestParams { n_threads: Some(3), ..small_params(14) },
+        );
+        let batch = f.predict_proba_all(&d);
+        assert_eq!(batch.len(), d.n_samples());
+        for (i, p) in batch.iter().enumerate() {
+            assert_eq!(*p, f.predict_proba(d.row(i)), "row {i}");
         }
     }
 

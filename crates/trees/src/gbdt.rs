@@ -9,6 +9,7 @@
 //! gradient of the log-loss and applies a Newton leaf step
 //! (`Σg / Σh`), the standard second-order formulation.
 
+use crate::binned::{BinnedDataset, HistPool, NodeHistogram, SplitStrategy, HIST_MIN_NODE_ROWS};
 use crate::cancel::CancelToken;
 use crate::dataset::Dataset;
 use hotspot_obs as obs;
@@ -34,6 +35,10 @@ pub struct GradientBoostingParams {
     /// Cooperative cancellation, checked between rounds. A cancelled
     /// fit keeps the rounds completed so far.
     pub cancel: Option<CancelToken>,
+    /// Split-search engine. Features never change across boosting
+    /// rounds, so one [`BinnedDataset`] built at the start of the fit
+    /// serves every round.
+    pub split: SplitStrategy,
 }
 
 impl Default for GradientBoostingParams {
@@ -46,6 +51,7 @@ impl Default for GradientBoostingParams {
             feature_fraction: 0.8,
             seed: 0,
             cancel: None,
+            split: SplitStrategy::default(),
         }
     }
 }
@@ -82,6 +88,8 @@ struct RegTreeBuilder<'a> {
     grad: &'a [f64],
     hess: &'a [f64],
     params: &'a GradientBoostingParams,
+    binned: Option<&'a BinnedDataset>,
+    pool: &'a mut HistPool,
     nodes: Vec<RegNode>,
 }
 
@@ -104,52 +112,144 @@ impl<'a> RegTreeBuilder<'a> {
         0.5 * (score(gl, hl) + score(gr, hr) - score(gl + gr, hl + hr))
     }
 
-    fn build(&mut self, indices: Vec<usize>, depth: usize, rng: &mut StdRng) -> usize {
+    fn build(
+        &mut self,
+        indices: Vec<usize>,
+        depth: usize,
+        rng: &mut StdRng,
+        hist: Option<NodeHistogram>,
+    ) -> usize {
         if depth >= self.params.max_depth || indices.len() < self.params.min_samples_split {
+            if let Some(h) = hist {
+                self.pool.release(h);
+            }
             let v = self.leaf_value(&indices);
             self.nodes.push(RegNode::Leaf { value: v });
             return self.nodes.len() - 1;
         }
         let d = self.data.n_features();
         let k = ((d as f64 * self.params.feature_fraction).ceil() as usize).clamp(1, d);
-        let mut pool: Vec<usize> = (0..d).collect();
-        pool.shuffle(rng);
+        let mut feature_pool: Vec<usize> = (0..d).collect();
+        feature_pool.shuffle(rng);
 
+        let use_hist = self.binned.is_some() && indices.len() >= HIST_MIN_NODE_ROWS;
         let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
-        let mut order: Vec<(f64, f64, f64)> = Vec::with_capacity(indices.len());
-        for &f in pool.iter().take(k) {
-            order.clear();
-            for &i in &indices {
-                order.push((self.data.feature(i, f), self.grad[i], self.hess[i]));
-            }
-            order.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
-            let total_g: f64 = order.iter().map(|t| t.1).sum();
-            let total_h: f64 = order.iter().map(|t| t.2).sum();
-            let mut gl = 0.0;
-            let mut hl = 0.0;
-            for idx in 0..order.len().saturating_sub(1) {
-                gl += order[idx].1;
-                hl += order[idx].2;
-                if order[idx + 1].0 <= order[idx].0 {
+        let mut node_hist: Option<NodeHistogram> = None;
+        if use_hist {
+            // Histogram search over (gradient, hessian) bins — gains
+            // at empty-side boundaries collapse to zero and are
+            // skipped by the `gain > 1e-12` guard below.
+            let binned = self.binned.expect("use_hist implies binned");
+            let h = match hist {
+                Some(h) => h,
+                None => {
+                    let mut h = self.pool.acquire(binned);
+                    h.accumulate(binned, &indices, self.grad, self.hess);
+                    h
+                }
+            };
+            for &f in feature_pool.iter().take(k) {
+                let bins = h.feature(binned, f);
+                if bins.len() < 2 {
                     continue;
                 }
-                let gain = Self::gain(gl, hl, total_g - gl, total_h - hl);
-                if best.is_none_or(|(_, _, g)| gain > g) && gain > 1e-12 {
-                    best = Some((f, 0.5 * (order[idx].0 + order[idx + 1].0), gain));
+                let mut total_g = 0.0;
+                let mut total_h = 0.0;
+                for &(g, hs) in bins {
+                    total_g += g;
+                    total_h += hs;
+                }
+                let mut gl = 0.0;
+                let mut hl = 0.0;
+                for (b, &(g, hs)) in bins.iter().enumerate().take(bins.len() - 1) {
+                    gl += g;
+                    hl += hs;
+                    let gain = Self::gain(gl, hl, total_g - gl, total_h - hl);
+                    if best.is_none_or(|(_, _, bg)| gain > bg) && gain > 1e-12 {
+                        best = Some((f, binned.cut(f, b), gain));
+                    }
+                }
+            }
+            node_hist = Some(h);
+        } else {
+            if let Some(h) = hist {
+                self.pool.release(h);
+            }
+            let mut order: Vec<(f64, f64, f64)> = Vec::with_capacity(indices.len());
+            for &f in feature_pool.iter().take(k) {
+                order.clear();
+                for &i in &indices {
+                    order.push((self.data.feature(i, f), self.grad[i], self.hess[i]));
+                }
+                order.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
+                let total_g: f64 = order.iter().map(|t| t.1).sum();
+                let total_h: f64 = order.iter().map(|t| t.2).sum();
+                let mut gl = 0.0;
+                let mut hl = 0.0;
+                for idx in 0..order.len().saturating_sub(1) {
+                    gl += order[idx].1;
+                    hl += order[idx].2;
+                    if order[idx + 1].0 <= order[idx].0 {
+                        continue;
+                    }
+                    let gain = Self::gain(gl, hl, total_g - gl, total_h - hl);
+                    if best.is_none_or(|(_, _, g)| gain > g) && gain > 1e-12 {
+                        best = Some((f, 0.5 * (order[idx].0 + order[idx + 1].0), gain));
+                    }
                 }
             }
         }
         let Some((feature, threshold, _)) = best else {
+            if let Some(h) = node_hist {
+                self.pool.release(h);
+            }
             let v = self.leaf_value(&indices);
             self.nodes.push(RegNode::Leaf { value: v });
             return self.nodes.len() - 1;
         };
         let (li, ri): (Vec<usize>, Vec<usize>) =
             indices.into_iter().partition(|&i| self.data.feature(i, feature) <= threshold);
+
+        // Subtraction trick: scan the smaller child, derive the larger
+        // as parent − smaller (boosting trees are shallow, so at most
+        // `max_depth` sibling tables are ever alive).
+        let mut left_hist: Option<NodeHistogram> = None;
+        let mut right_hist: Option<NodeHistogram> = None;
+        if let Some(mut parent) = node_hist {
+            let eligible = |child: &[usize]| {
+                depth + 1 < self.params.max_depth
+                    && child.len() >= self.params.min_samples_split
+                    && child.len() >= HIST_MIN_NODE_ROWS
+            };
+            let left_small = li.len() <= ri.len();
+            let (small, large) = if left_small { (&li, &ri) } else { (&ri, &li) };
+            if eligible(large) {
+                let binned = self.binned.expect("hist implies binned");
+                let mut small_hist = self.pool.acquire(binned);
+                small_hist.accumulate(binned, small, self.grad, self.hess);
+                parent.subtract(&small_hist);
+                let small_hist = if eligible(small) {
+                    Some(small_hist)
+                } else {
+                    self.pool.release(small_hist);
+                    None
+                };
+                if left_small {
+                    left_hist = small_hist;
+                    right_hist = Some(parent);
+                } else {
+                    left_hist = Some(parent);
+                    right_hist = small_hist;
+                }
+            } else {
+                self.pool.release(parent);
+            }
+        }
+
         let node = self.nodes.len();
         self.nodes.push(RegNode::Leaf { value: 0.0 }); // placeholder
-        let left = self.build(li, depth + 1, rng);
-        let right = self.build(ri, depth + 1, rng);
+        let left = self.build(li, depth + 1, rng, left_hist);
+        let right = self.build(ri, depth + 1, rng, right_hist);
         self.nodes[node] = RegNode::Split { feature, threshold, left, right };
         node
     }
@@ -184,6 +284,15 @@ impl GradientBoosting {
         let mut hess = vec![0.0; n];
         let mut trees = Vec::with_capacity(params.n_rounds);
         let mut rng = StdRng::seed_from_u64(params.seed);
+        // Bin once for the whole fit: features are fixed across rounds,
+        // only the gradients/hessians poured into the bins change.
+        let binned = match params.split {
+            SplitStrategy::Histogram { max_bins } if n >= HIST_MIN_NODE_ROWS => {
+                Some(BinnedDataset::build(data, max_bins))
+            }
+            _ => None,
+        };
+        let mut pool = HistPool::new();
 
         for _round in 0..params.n_rounds {
             if params.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
@@ -196,9 +305,16 @@ impl GradientBoosting {
                 grad[i] = w * (p - y);
                 hess[i] = w * (p * (1.0 - p)).max(1e-9);
             }
-            let mut builder =
-                RegTreeBuilder { data, grad: &grad, hess: &hess, params, nodes: Vec::new() };
-            builder.build(all.clone(), 0, &mut rng);
+            let mut builder = RegTreeBuilder {
+                data,
+                grad: &grad,
+                hess: &hess,
+                params,
+                binned: binned.as_ref(),
+                pool: &mut pool,
+                nodes: Vec::new(),
+            };
+            builder.build(all.clone(), 0, &mut rng, None);
             let tree = RegTree { nodes: builder.nodes };
             for (i, r) in raw.iter_mut().enumerate() {
                 *r += params.learning_rate * tree.predict(data.row(i));
@@ -325,6 +441,33 @@ mod tests {
         let b = GradientBoosting::fit(&d, &p);
         for i in 0..d.n_samples() {
             assert_eq!(a.predict_proba(d.row(i)), b.predict_proba(d.row(i)));
+        }
+    }
+
+    #[test]
+    fn histogram_matches_exact_on_training_rows() {
+        // 150 rows of continuous features: every value is distinct, so
+        // each bin holds one row and histogram gains are bit-identical
+        // to the exact scan.
+        let d = blobs(6, 150);
+        let exact = GradientBoosting::fit(
+            &d,
+            &GradientBoostingParams {
+                n_rounds: 15,
+                split: SplitStrategy::Exact,
+                ..Default::default()
+            },
+        );
+        let hist = GradientBoosting::fit(
+            &d,
+            &GradientBoostingParams {
+                n_rounds: 15,
+                split: SplitStrategy::Histogram { max_bins: 255 },
+                ..Default::default()
+            },
+        );
+        for i in 0..d.n_samples() {
+            assert_eq!(exact.predict_proba(d.row(i)), hist.predict_proba(d.row(i)), "row {i}");
         }
     }
 

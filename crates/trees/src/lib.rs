@@ -19,6 +19,7 @@
 //! The crate is self-contained (no dependency on the rest of the
 //! workspace) so it can be reused as a generic small-ML library.
 
+pub mod binned;
 pub mod cancel;
 pub mod dataset;
 pub mod describe;
@@ -27,6 +28,7 @@ pub mod gbdt;
 pub mod split;
 pub mod tree;
 
+pub use binned::{BinnedDataset, SplitStrategy};
 pub use cancel::CancelToken;
 pub use dataset::Dataset;
 pub use describe::SplitDescription;

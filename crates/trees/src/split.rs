@@ -1,5 +1,7 @@
-//! Weighted-Gini split search for one node.
+//! Weighted-Gini split search for one node: the exact sorted scan and
+//! the histogram bin scan (see [`crate::binned`]).
 
+use crate::binned::{BinnedDataset, NodeHistogram};
 use crate::dataset::Dataset;
 
 /// Binary Gini impurity for a weighted positive fraction `p`:
@@ -29,6 +31,7 @@ pub struct SplitCandidate {
 #[derive(Debug, Default)]
 pub struct SplitScratch {
     order: Vec<(f64, f64, f64)>, // (value, weight, positive_weight)
+    bins: Vec<(f64, f64)>,       // per-feature histogram scratch
     /// Split searches performed through this scratch. The tree builder
     /// flushes the tally to the `trees.split_evaluations` counter once
     /// per fit, keeping atomics out of the hot loop.
@@ -112,6 +115,105 @@ pub fn best_split_on_feature(
     best
 }
 
+/// Histogram counterpart of [`best_split_on_feature`]: walk the
+/// feature's accumulated `(weight, positive_weight)` bins instead of
+/// sorting the node's rows — `O(bins)` after the `O(n · d)`
+/// accumulation the caller already paid.
+///
+/// Candidate cuts sit between adjacent bins; the threshold is the
+/// binned dataset's raw-value cut there, so training rows route
+/// exactly as `value <= threshold` demands. Empty-side boundaries are
+/// skipped with the same `left_w / right_w` guards as the exact scan
+/// (this also absorbs the tiny negative weights a parent-minus-sibling
+/// subtraction can leave in bins the node never touched).
+pub fn best_split_on_feature_hist(
+    binned: &BinnedDataset,
+    hist: &NodeHistogram,
+    feature: usize,
+    node_impurity: f64,
+    scratch: &mut SplitScratch,
+) -> Option<SplitCandidate> {
+    scratch.n_evaluations += 1;
+    scan_bins(binned, feature, hist.feature(binned, feature), node_impurity)
+}
+
+/// Histogram search without a prebuilt [`NodeHistogram`]: accumulate
+/// `feature`'s bins over the node's rows into scratch, then scan them.
+/// This is the narrow-sampling path — when a node evaluates `k ≪ d`
+/// features, one `O(n)` pass per evaluated feature beats building the
+/// full `d`-feature table that the subtraction trick needs.
+///
+/// `weights` and `pos_weights` are node-aligned (`weights[j]` pairs
+/// with `indices[j]`), gathered once per node by the caller.
+pub fn best_split_on_feature_hist_direct(
+    binned: &BinnedDataset,
+    indices: &[usize],
+    weights: &[f64],
+    pos_weights: &[f64],
+    feature: usize,
+    node_impurity: f64,
+    scratch: &mut SplitScratch,
+) -> Option<SplitCandidate> {
+    scratch.n_evaluations += 1;
+    let n_bins = binned.n_bins(feature);
+    if n_bins < 2 {
+        return None;
+    }
+    scratch.bins.clear();
+    scratch.bins.resize(n_bins, (0.0, 0.0));
+    binned.accumulate_feature(feature, indices, weights, pos_weights, &mut scratch.bins);
+    scan_bins(binned, feature, &scratch.bins, node_impurity)
+}
+
+/// Walk one feature's accumulated bins for the best cut — shared by
+/// the table-backed and direct histogram searches, so both produce
+/// bit-identical candidates from identical bin contents.
+fn scan_bins(
+    binned: &BinnedDataset,
+    feature: usize,
+    bins: &[(f64, f64)],
+    node_impurity: f64,
+) -> Option<SplitCandidate> {
+    if bins.len() < 2 {
+        return None;
+    }
+    let mut total_w = 0.0;
+    let mut total_pos = 0.0;
+    for &(w, p) in bins {
+        total_w += w;
+        total_pos += p;
+    }
+    if total_w <= 0.0 {
+        return None;
+    }
+    let mut best: Option<SplitCandidate> = None;
+    let mut left_w = 0.0;
+    let mut left_pos = 0.0;
+    for (b, &(w, p)) in bins.iter().enumerate().take(bins.len() - 1) {
+        left_w += w;
+        left_pos += p;
+        let right_w = total_w - left_w;
+        if left_w <= 0.0 || right_w <= 0.0 {
+            continue;
+        }
+        let right_pos = total_pos - left_pos;
+        let imp_left = gini(left_pos / left_w);
+        let imp_right = gini(right_pos / right_w);
+        let decrease = total_w
+            * (node_impurity - (left_w / total_w) * imp_left - (right_w / total_w) * imp_right);
+        if best.is_none_or(|bst| decrease > bst.decrease) {
+            best = Some(SplitCandidate {
+                feature,
+                threshold: binned.cut(feature, b),
+                decrease,
+                left_weight: left_w,
+                right_weight: right_w,
+            });
+        }
+    }
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +287,77 @@ mod tests {
         let mut scratch = SplitScratch::new();
         let s = best_split_on_feature(&d, &idx, 0, imp, &mut scratch).unwrap();
         assert!(s.threshold > 4.0 && s.threshold < 10.0, "threshold {}", s.threshold);
+    }
+
+    /// Accumulate a node histogram over `indices` with the dataset's
+    /// weights, mirroring what the tree builder does.
+    fn node_hist(d: &Dataset, b: &BinnedDataset, indices: &[usize]) -> NodeHistogram {
+        let pos: Vec<f64> =
+            (0..d.n_samples()).map(|i| if d.label(i) { d.weight(i) } else { 0.0 }).collect();
+        let mut h = NodeHistogram::zeroed(b);
+        h.accumulate(b, indices, d.weights(), &pos);
+        h
+    }
+
+    #[test]
+    fn histogram_scan_matches_exact_when_bins_are_distinct_values() {
+        let d = separable();
+        let b = BinnedDataset::build(&d, 255);
+        let idx: Vec<usize> = (0..4).collect();
+        let imp = gini(d.weighted_positive_fraction(&idx));
+        let h = node_hist(&d, &b, &idx);
+        let mut scratch = SplitScratch::new();
+        let exact = best_split_on_feature(&d, &idx, 0, imp, &mut scratch).unwrap();
+        let hist = best_split_on_feature_hist(&b, &h, 0, imp, &mut scratch).unwrap();
+        assert_eq!(hist.feature, exact.feature);
+        assert_eq!(hist.threshold, exact.threshold);
+        assert_eq!(hist.decrease, exact.decrease);
+        assert_eq!(hist.left_weight, exact.left_weight);
+        assert_eq!(hist.right_weight, exact.right_weight);
+        // Constant feature: no candidate in either mode.
+        assert!(best_split_on_feature_hist(&b, &h, 1, imp, &mut scratch).is_none());
+        assert_eq!(scratch.n_evaluations, 3, "hist searches count as evaluations too");
+    }
+
+    #[test]
+    fn direct_histogram_scan_matches_table_backed_scan() {
+        let d = separable();
+        let b = BinnedDataset::build(&d, 255);
+        let idx: Vec<usize> = (0..4).collect();
+        let imp = gini(d.weighted_positive_fraction(&idx));
+        let h = node_hist(&d, &b, &idx);
+        let pos: Vec<f64> =
+            (0..d.n_samples()).map(|i| if d.label(i) { d.weight(i) } else { 0.0 }).collect();
+        let mut scratch = SplitScratch::new();
+        let table = best_split_on_feature_hist(&b, &h, 0, imp, &mut scratch).unwrap();
+        let direct =
+            best_split_on_feature_hist_direct(&b, &idx, d.weights(), &pos, 0, imp, &mut scratch)
+                .unwrap();
+        assert_eq!(direct, table);
+        assert_eq!(scratch.n_evaluations, 2);
+    }
+
+    #[test]
+    fn histogram_scan_on_node_subset_skips_empty_bins() {
+        // Bin the full dataset but search a node holding a subset: the
+        // untouched bins are empty and must not produce degenerate
+        // (empty-side) candidates.
+        let d = Dataset::new(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+            1,
+            vec![true, true, true, false, false, false],
+        )
+        .unwrap();
+        let b = BinnedDataset::build(&d, 255);
+        let idx = vec![1, 4]; // values 2.0 (pos) and 5.0 (neg)
+        let imp = gini(d.weighted_positive_fraction(&idx));
+        let h = node_hist(&d, &b, &idx);
+        let mut scratch = SplitScratch::new();
+        let s = best_split_on_feature_hist(&b, &h, 0, imp, &mut scratch).unwrap();
+        assert!(s.left_weight > 0.0 && s.right_weight > 0.0);
+        // The first boundary achieving the perfect partition wins.
+        assert_eq!(s.threshold, 2.5);
+        assert!((s.decrease - 2.0 * 0.5).abs() < 1e-12);
     }
 
     #[test]

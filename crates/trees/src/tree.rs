@@ -6,12 +6,23 @@
 //! criterion (2% of total weight for the standalone Tree model, 0.02%
 //! for forest members).
 
+use crate::binned::{BinnedDataset, HistPool, NodeHistogram, SplitStrategy, HIST_MIN_NODE_ROWS};
 use crate::dataset::Dataset;
-use crate::split::{best_split_on_feature, gini, SplitCandidate, SplitScratch};
+use crate::split::{
+    best_split_on_feature, best_split_on_feature_hist, best_split_on_feature_hist_direct, gini,
+    SplitCandidate, SplitScratch,
+};
 use hotspot_obs as obs;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+
+/// Upper bound on histograms held alive across recursion (the
+/// subtraction trick keeps the unvisited sibling's table until its
+/// subtree is entered). Beyond the cap the sibling simply rebuilds by
+/// scanning, trading a little time for bounded memory on pathological
+/// splinter-shaped trees.
+const MAX_PENDING_HISTS: usize = 32;
 
 /// How many features to evaluate at each partition.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,6 +62,9 @@ pub struct TreeParams {
     pub max_depth: Option<usize>,
     /// RNG seed for feature subsampling.
     pub seed: u64,
+    /// Split-search engine: histogram by default, exact as the
+    /// reference CART scan. Tiny nodes always fall back to exact.
+    pub split: SplitStrategy,
 }
 
 impl TreeParams {
@@ -62,6 +76,7 @@ impl TreeParams {
             min_weight_fraction: 0.02,
             max_depth: None,
             seed: 0,
+            split: SplitStrategy::default(),
         }
     }
 
@@ -73,6 +88,7 @@ impl TreeParams {
             min_weight_fraction: 0.0002,
             max_depth: None,
             seed: 0,
+            split: SplitStrategy::default(),
         }
     }
 }
@@ -110,96 +126,92 @@ impl DecisionTree {
     /// Fit a tree on the dataset (weights are used as-is; call
     /// [`Dataset::balance_weights`] first for the paper's setup).
     ///
+    /// Under [`SplitStrategy::Histogram`] the features are binned once
+    /// here; forests share one binned view across all their trees via
+    /// [`DecisionTree::fit_with_shared`] instead.
+    ///
     /// # Panics
     /// Panics on an empty dataset.
     pub fn fit(data: &Dataset, params: &TreeParams) -> Self {
         assert!(data.n_samples() > 0, "cannot fit on an empty dataset");
-        let mut rng = StdRng::seed_from_u64(params.seed);
-        let mut tree = DecisionTree {
+        let binned = match params.split {
+            SplitStrategy::Histogram { max_bins } if data.n_samples() >= HIST_MIN_NODE_ROWS => {
+                Some(BinnedDataset::build(data, max_bins))
+            }
+            _ => None,
+        };
+        let root: Vec<usize> = (0..data.n_samples()).collect();
+        Self::fit_with_shared(data, binned.as_ref(), root, params)
+    }
+
+    /// Fit a tree on a row-index multiset of `data` (e.g. a bootstrap
+    /// resample: indices in draw order, duplicates allowed), reusing a
+    /// pre-built [`BinnedDataset`] when histogram search is wanted.
+    /// Histogram search is used exactly when `binned` is provided; the
+    /// caller decides per its [`SplitStrategy`].
+    ///
+    /// The minimum-weight stop is taken relative to the multiset's
+    /// total weight, matching a materialised resample.
+    ///
+    /// # Panics
+    /// Panics on an empty root multiset or a `binned` view whose shape
+    /// does not match `data`.
+    pub fn fit_with_shared(
+        data: &Dataset,
+        binned: Option<&BinnedDataset>,
+        root: Vec<usize>,
+        params: &TreeParams,
+    ) -> Self {
+        assert!(!root.is_empty(), "cannot fit on an empty root multiset");
+        if let Some(b) = binned {
+            assert_eq!(b.n_rows(), data.n_samples(), "binned view row mismatch");
+            assert_eq!(b.n_features(), data.n_features(), "binned view feature mismatch");
+        }
+        let min_weight = params.min_weight_fraction * data.subset_weight(&root);
+        let pos_weight = if binned.is_some() {
+            (0..data.n_samples())
+                .map(|i| if data.label(i) { data.weight(i) } else { 0.0 })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        // Full-table accumulation (the prerequisite for the
+        // parent-minus-sibling subtraction trick) pays off only when
+        // most features get scanned anyway. Under narrow per-node
+        // sampling (k ≪ d, e.g. the forest's √d) the per-feature
+        // direct path does strictly less work: k·n accumulation
+        // instead of d·n plus table-sized zeroing and subtraction.
+        let k = params.max_features.resolve(data.n_features());
+        let use_subtraction = 2 * k >= data.n_features();
+        let mut builder = TreeBuilder {
+            data,
+            binned,
+            params,
+            min_weight,
+            use_subtraction,
+            rng: StdRng::seed_from_u64(params.seed),
+            scratch: SplitScratch::new(),
+            feature_pool: (0..data.n_features()).collect(),
+            pos_weight,
+            node_wa: Vec::new(),
+            node_wb: Vec::new(),
+            pool: HistPool::new(),
+            pending: 0,
             nodes: Vec::new(),
             importances: vec![0.0; data.n_features()],
-            n_features: data.n_features(),
-            params: params.clone(),
         };
-        let total_weight = data.total_weight();
-        let min_weight = params.min_weight_fraction * total_weight;
-        let all: Vec<usize> = (0..data.n_samples()).collect();
-        let mut scratch = SplitScratch::new();
-        let mut feature_pool: Vec<usize> = (0..data.n_features()).collect();
-        tree.build(data, all, 0, min_weight, &mut rng, &mut scratch, &mut feature_pool);
-        obs::counter("trees.split_evaluations").add(scratch.n_evaluations);
+        builder.build_node(root, 0, None);
+        obs::counter("trees.split_evaluations").add(builder.scratch.n_evaluations);
+        let mut importances = builder.importances;
+        let nodes = builder.nodes;
         // Normalise importances to sum to 1 (when any split happened).
-        let total: f64 = tree.importances.iter().sum();
+        let total: f64 = importances.iter().sum();
         if total > 0.0 {
-            for v in &mut tree.importances {
+            for v in &mut importances {
                 *v /= total;
             }
         }
-        tree
-    }
-
-    /// Recursive node construction; returns the node index.
-    #[allow(clippy::too_many_arguments)]
-    fn build(
-        &mut self,
-        data: &Dataset,
-        indices: Vec<usize>,
-        depth: usize,
-        min_weight: f64,
-        rng: &mut StdRng,
-        scratch: &mut SplitScratch,
-        feature_pool: &mut Vec<usize>,
-    ) -> usize {
-        let proba = data.weighted_positive_fraction(&indices);
-        let node_weight = data.subset_weight(&indices);
-        let impurity = gini(proba);
-
-        let depth_ok = self.params.max_depth.is_none_or(|d| depth < d);
-        let stop = !depth_ok
-            || node_weight < min_weight
-            || impurity <= 0.0
-            || indices.len() < 2;
-        if stop {
-            return self.push(Node::Leaf { proba });
-        }
-
-        // Random feature subset for this partition.
-        let k = self.params.max_features.resolve(data.n_features());
-        feature_pool.shuffle(rng);
-        let mut best: Option<SplitCandidate> = None;
-        for &f in feature_pool.iter().take(k) {
-            if let Some(c) = best_split_on_feature(data, &indices, f, impurity, scratch) {
-                if best.is_none_or(|b| c.decrease > b.decrease) {
-                    best = Some(c);
-                }
-            }
-        }
-        let Some(split) = best else {
-            return self.push(Node::Leaf { proba });
-        };
-
-        // A child falling below the weight floor would immediately
-        // become a leaf anyway; keep the split (scikit-learn's
-        // min_weight_fraction_leaf differs slightly — it constrains
-        // leaves — but the practical effect on depth is the same).
-        self.importances[split.feature] += split.decrease;
-
-        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
-            .into_iter()
-            .partition(|&i| data.feature(i, split.feature) <= split.threshold);
-        debug_assert!(!left_idx.is_empty() && !right_idx.is_empty());
-
-        let node = self.push(Node::Leaf { proba }); // placeholder, patched below
-        let left = self.build(data, left_idx, depth + 1, min_weight, rng, scratch, feature_pool);
-        let right = self.build(data, right_idx, depth + 1, min_weight, rng, scratch, feature_pool);
-        self.nodes[node] =
-            Node::Split { feature: split.feature, threshold: split.threshold, left, right };
-        node
-    }
-
-    fn push(&mut self, node: Node) -> usize {
-        self.nodes.push(node);
-        self.nodes.len() - 1
+        DecisionTree { nodes, importances, n_features: data.n_features(), params: params.clone() }
     }
 
     /// Predict the positive-class probability for one feature row.
@@ -280,6 +292,241 @@ impl DecisionTree {
     pub fn n_features(&self) -> usize {
         self.n_features
     }
+
+    /// The hyper-parameters the tree was fitted with.
+    pub fn params(&self) -> &TreeParams {
+        &self.params
+    }
+}
+
+/// Recursive fitting state: the dataset views, RNG, scratch buffers,
+/// histogram pool, and the accumulating node/importance arrays.
+struct TreeBuilder<'a> {
+    data: &'a Dataset,
+    binned: Option<&'a BinnedDataset>,
+    params: &'a TreeParams,
+    min_weight: f64,
+    /// Build full-feature tables and derive sibling histograms by
+    /// subtraction (wide sampling); false = per-feature direct
+    /// accumulation (narrow sampling).
+    use_subtraction: bool,
+    rng: StdRng,
+    scratch: SplitScratch,
+    feature_pool: Vec<usize>,
+    /// Per-row `weight · label`, the histogram's second accumuland
+    /// (empty in exact mode).
+    pos_weight: Vec<f64>,
+    /// Node-aligned gathers of `(weight, pos_weight)` for the direct
+    /// histogram path, refilled per node so the `k` per-feature
+    /// accumulation passes read weights sequentially.
+    node_wa: Vec<f64>,
+    node_wb: Vec<f64>,
+    pool: HistPool,
+    /// Histograms currently held for unvisited siblings.
+    pending: usize,
+    nodes: Vec<Node>,
+    importances: Vec<f64>,
+}
+
+impl TreeBuilder<'_> {
+    /// Construct the subtree over `indices`; returns its root index.
+    /// `hist` optionally carries this node's pre-computed histogram
+    /// (from the parent's subtraction); it is consumed either way.
+    fn build_node(
+        &mut self,
+        indices: Vec<usize>,
+        depth: usize,
+        hist: Option<NodeHistogram>,
+    ) -> usize {
+        // In histogram mode the node's `(weight, pos_weight)` pairs are
+        // gathered once and summed sequentially — same index order and
+        // association as `weighted_positive_fraction`/`subset_weight`
+        // (adding a negative row's 0.0 pos-weight is a bit-exact no-op
+        // for non-negative weights), and the gathers feed the direct
+        // per-feature accumulation below.
+        let (proba, node_weight) = if self.binned.is_some() {
+            self.node_wa.clear();
+            self.node_wa.extend(indices.iter().map(|&i| self.data.weight(i)));
+            self.node_wb.clear();
+            self.node_wb.extend(indices.iter().map(|&i| self.pos_weight[i]));
+            let total: f64 = self.node_wa.iter().sum();
+            let pos: f64 = self.node_wb.iter().sum();
+            (if total <= 0.0 { 0.5 } else { pos / total }, total)
+        } else {
+            (self.data.weighted_positive_fraction(&indices), self.data.subset_weight(&indices))
+        };
+        let impurity = gini(proba);
+
+        let depth_ok = self.params.max_depth.is_none_or(|d| depth < d);
+        let stop = !depth_ok
+            || node_weight < self.min_weight
+            || impurity <= 0.0
+            || indices.len() < 2;
+        if stop {
+            if let Some(h) = hist {
+                self.pool.release(h);
+            }
+            return self.push(Node::Leaf { proba });
+        }
+
+        // Random feature subset for this partition. The shuffle runs on
+        // every non-stopped node in both modes, so exact and histogram
+        // fits consume the RNG identically — the backbone of the
+        // parity guarantee (DESIGN.md §9).
+        let k = self.params.max_features.resolve(self.data.n_features());
+        self.feature_pool.shuffle(&mut self.rng);
+
+        let use_hist = self.binned.is_some() && indices.len() >= HIST_MIN_NODE_ROWS;
+        let mut best: Option<SplitCandidate> = None;
+        let mut node_hist: Option<NodeHistogram> = None;
+        if use_hist && self.use_subtraction {
+            let binned = self.binned.expect("use_hist implies binned");
+            let h = match hist {
+                Some(h) => h,
+                None => {
+                    let mut h = self.pool.acquire(binned);
+                    h.accumulate(binned, &indices, self.data.weights(), &self.pos_weight);
+                    h
+                }
+            };
+            for &f in self.feature_pool.iter().take(k) {
+                if let Some(c) =
+                    best_split_on_feature_hist(binned, &h, f, impurity, &mut self.scratch)
+                {
+                    if best.is_none_or(|b| c.decrease > b.decrease) {
+                        best = Some(c);
+                    }
+                }
+            }
+            node_hist = Some(h);
+        } else if use_hist {
+            // Narrow sampling: accumulate each evaluated feature's bins
+            // directly; identical bin contents, so identical candidates
+            // to the table-backed scan — no histogram is held for the
+            // children.
+            let binned = self.binned.expect("use_hist implies binned");
+            debug_assert!(hist.is_none(), "partial mode never hands down histograms");
+            for &f in self.feature_pool.iter().take(k) {
+                if let Some(c) = best_split_on_feature_hist_direct(
+                    binned,
+                    &indices,
+                    &self.node_wa,
+                    &self.node_wb,
+                    f,
+                    impurity,
+                    &mut self.scratch,
+                ) {
+                    if best.is_none_or(|b| c.decrease > b.decrease) {
+                        best = Some(c);
+                    }
+                }
+            }
+        } else {
+            // Tiny node (or exact mode): the sorted scan is cheaper
+            // than touching a bins × features table.
+            if let Some(h) = hist {
+                self.pool.release(h);
+            }
+            for &f in self.feature_pool.iter().take(k) {
+                if let Some(c) =
+                    best_split_on_feature(self.data, &indices, f, impurity, &mut self.scratch)
+                {
+                    if best.is_none_or(|b| c.decrease > b.decrease) {
+                        best = Some(c);
+                    }
+                }
+            }
+        }
+
+        let Some(split) = best else {
+            if let Some(h) = node_hist {
+                self.pool.release(h);
+            }
+            return self.push(Node::Leaf { proba });
+        };
+
+        // A child falling below the weight floor would immediately
+        // become a leaf anyway; keep the split (scikit-learn's
+        // min_weight_fraction_leaf differs slightly — it constrains
+        // leaves — but the practical effect on depth is the same).
+        self.importances[split.feature] += split.decrease;
+
+        // Histogram thresholds are bin cuts, so in-bag rows can route
+        // on their narrow bin codes instead of strided f64 feature
+        // reads; exact(-fallback) midpoint thresholds use the features.
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = if use_hist {
+            let binned = self.binned.expect("use_hist implies binned");
+            let bin = binned.cut_index(split.feature, split.threshold);
+            debug_assert_eq!(binned.cut(split.feature, bin), split.threshold);
+            binned.partition_leq(split.feature, bin, indices)
+        } else {
+            indices
+                .into_iter()
+                .partition(|&i| self.data.feature(i, split.feature) <= split.threshold)
+        };
+        debug_assert!(!left_idx.is_empty() && !right_idx.is_empty());
+
+        // Subtraction trick: scan only the smaller child; the larger
+        // child's histogram is parent − smaller, reusing the parent's
+        // buffer. Children that would stop immediately (too few rows,
+        // under the weight floor, at the depth cap) get no histogram.
+        let mut left_hist: Option<NodeHistogram> = None;
+        let mut right_hist: Option<NodeHistogram> = None;
+        if let Some(parent) = node_hist {
+            let child_depth_ok = self.params.max_depth.is_none_or(|d| depth + 1 < d);
+            let min_weight = self.min_weight;
+            let eligible = |rows: usize, weight: f64| {
+                child_depth_ok && rows >= HIST_MIN_NODE_ROWS && weight >= min_weight
+            };
+            let left_small = left_idx.len() <= right_idx.len();
+            let (small, small_w, large, large_w) = if left_small {
+                (&left_idx, split.left_weight, &right_idx, split.right_weight)
+            } else {
+                (&right_idx, split.right_weight, &left_idx, split.left_weight)
+            };
+            if eligible(large.len(), large_w) && self.pending < MAX_PENDING_HISTS {
+                let binned = self.binned.expect("hist implies binned");
+                let mut parent = parent;
+                let mut small_hist = self.pool.acquire(binned);
+                small_hist.accumulate(binned, small, self.data.weights(), &self.pos_weight);
+                parent.subtract(&small_hist); // now the large child's table
+                let small_hist = if eligible(small.len(), small_w) {
+                    Some(small_hist)
+                } else {
+                    self.pool.release(small_hist);
+                    None
+                };
+                if left_small {
+                    left_hist = small_hist;
+                    right_hist = Some(parent);
+                } else {
+                    left_hist = Some(parent);
+                    right_hist = small_hist;
+                }
+            } else {
+                self.pool.release(parent);
+            }
+        }
+
+        let node = self.push(Node::Leaf { proba }); // placeholder, patched below
+        let holding = right_hist.is_some();
+        if holding {
+            self.pending += 1;
+        }
+        let left = self.build_node(left_idx, depth + 1, left_hist);
+        if holding {
+            self.pending -= 1;
+        }
+        let right = self.build_node(right_idx, depth + 1, right_hist);
+        self.nodes[node] =
+            Node::Split { feature: split.feature, threshold: split.threshold, left, right };
+        node
+    }
+
+    fn push(&mut self, node: Node) -> usize {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
 }
 
 #[cfg(test)]
@@ -308,6 +555,7 @@ mod tests {
             min_weight_fraction: 0.0,
             max_depth: None,
             seed: 1,
+            split: SplitStrategy::default(),
         };
         let t = DecisionTree::fit(&d, &params);
         // Perfect training accuracy on a noiseless problem.
@@ -342,6 +590,7 @@ mod tests {
                 min_weight_fraction: 0.6,
                 max_depth: None,
                 seed: 1,
+                split: SplitStrategy::default(),
             },
         );
         let deep = DecisionTree::fit(
@@ -351,6 +600,7 @@ mod tests {
                 min_weight_fraction: 0.0,
                 max_depth: None,
                 seed: 1,
+                split: SplitStrategy::default(),
             },
         );
         assert!(shallow.n_nodes() < deep.n_nodes());
@@ -366,6 +616,7 @@ mod tests {
                 min_weight_fraction: 0.0,
                 max_depth: Some(1),
                 seed: 3,
+                split: SplitStrategy::default(),
             },
         );
         assert!(t.depth() <= 1);

@@ -80,6 +80,7 @@ fn main() {
         seed: 3,
         forest_threads: None,
         cancel: None,
+        split: Default::default(),
     };
     let mut all_labels = Vec::new();
     let mut all_probs = Vec::new();

@@ -21,6 +21,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo '>>> observability smoke'
 scripts/obs_smoke.sh
 
+echo '>>> perf baseline (deterministic split-evaluation counts)'
+scripts/perf_baseline.sh
+
 if [[ "${1:-}" == "--full" ]]; then
   echo '>>> full workspace tests'
   cargo test --workspace -q

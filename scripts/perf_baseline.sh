@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Per-stage performance baseline gate (ROADMAP: "per-stage performance
+# baselines").
+#
+#   scripts/perf_baseline.sh            # check against BENCH_trees.json
+#   scripts/perf_baseline.sh --record   # re-pin the baseline (after a
+#                                       # deliberate behaviour change)
+#
+# The check re-fits the exact and histogram forests at the bench shape
+# and hard-fails if the deterministic `trees.split_evaluations` counts
+# drift from the recorded baseline; wall-clock drift beyond the
+# tolerance band is flagged as a warning only.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="--check"
+if [[ "${1:-}" == "--record" ]]; then
+  mode="--record"
+fi
+
+cargo build --release -p hotspot-bench --bin perf_baseline
+./target/release/perf_baseline "$mode" --path BENCH_trees.json

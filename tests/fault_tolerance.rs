@@ -40,6 +40,7 @@ fn config(models: Vec<ModelSpec>) -> SweepConfig {
         seed: 3,
         n_threads: Some(2),
         resilience: ResiliencePolicy::default(),
+        split: Default::default(),
     }
 }
 

@@ -1,0 +1,144 @@
+//! Exact-vs-histogram split-finding parity (DESIGN.md §9).
+//!
+//! Two layers of guarantee:
+//!
+//! * **Bit-exact tree parity** when every feature has fewer distinct
+//!   values than `max_bins` and weights are uniform: each distinct
+//!   value gets its own bin, so the histogram scan considers exactly
+//!   the candidate cuts the exact scan does, with the same Gini
+//!   arithmetic and RNG consumption — training-row predictions must be
+//!   identical. Checked by property over random integer-valued
+//!   datasets, for both the narrow-sampling (direct) and
+//!   wide-sampling (subtraction) histogram paths.
+//!
+//! * **Metric-level parity** on the simnet pipeline, where features
+//!   are continuous and binning genuinely quantises: the RF-F1 model's
+//!   average precision under the histogram engine must stay within 1%
+//!   relative of the exact engine.
+
+use hotspot::core::missing::sector_filter_mask;
+use hotspot::core::ScorePipeline;
+use hotspot::eval::average_precision;
+use hotspot::forecast::classifier::{fit_and_forecast, ClassifierConfig};
+use hotspot::forecast::context::{ForecastContext, Target};
+use hotspot::features::windows::WindowSpec;
+use hotspot::nn::imputer::{ForwardFillImputer, Imputer, MeanImputer};
+use hotspot::simnet::{NetworkConfig, SyntheticNetwork};
+use hotspot::trees::{Dataset, DecisionTree, MaxFeatures, SplitStrategy, TreeParams};
+use proptest::prelude::*;
+
+/// Fit the same data with both engines and assert identical
+/// training-row predictions.
+fn assert_tree_parity(features: Vec<u8>, d: usize, seed: u64, max_features: MaxFeatures) {
+    let n = features.len() / d;
+    let feats: Vec<f64> = features.iter().take(n * d).map(|&v| v as f64).collect();
+    // A label rule correlated with the features but not degenerate.
+    let labels: Vec<bool> = (0..n)
+        .map(|i| feats[i * d..(i + 1) * d].iter().sum::<f64>() + (i % 3) as f64 > 3.5 * d as f64)
+        .collect();
+    if labels.iter().all(|&l| l) || labels.iter().all(|&l| !l) {
+        return; // pure roots stop immediately in both engines
+    }
+    let data = Dataset::new(feats, d, labels).unwrap();
+    let params = |split| TreeParams {
+        max_features,
+        min_weight_fraction: 0.0,
+        max_depth: None,
+        seed,
+        split,
+    };
+    let exact = DecisionTree::fit(&data, &params(SplitStrategy::Exact));
+    let hist = DecisionTree::fit(&data, &params(SplitStrategy::histogram()));
+    for i in 0..n {
+        assert_eq!(
+            exact.predict_proba(data.row(i)),
+            hist.predict_proba(data.row(i)),
+            "row {i}: engines disagree (seed {seed})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Narrow sampling (√d): the direct per-feature histogram path.
+    #[test]
+    fn tree_parity_narrow_sampling(
+        features in prop::collection::vec(0u8..8, 64 * 5..128 * 5 + 1),
+        seed in 0u64..1000,
+    ) {
+        assert_tree_parity(features, 5, seed, MaxFeatures::Sqrt);
+    }
+
+    /// Wide sampling (all features): the full-table + subtraction path.
+    #[test]
+    fn tree_parity_wide_sampling(
+        features in prop::collection::vec(0u8..8, 64 * 5..128 * 5 + 1),
+        seed in 0u64..1000,
+    ) {
+        assert_tree_parity(features, 5, seed, MaxFeatures::All);
+    }
+}
+
+/// Simnet fixture shared by the metric-level test.
+fn simnet_context() -> ForecastContext {
+    let config = NetworkConfig::small().with_sectors(200).with_weeks(9);
+    let network = SyntheticNetwork::generate(&config, 11);
+    let mask = sector_filter_mask(network.kpis(), 0.5).unwrap();
+    let mut kpis = network.kpis().retain_sectors(&mask).unwrap();
+    ForwardFillImputer.impute(&mut kpis);
+    MeanImputer.impute(&mut kpis);
+    let scored = ScorePipeline::standard().run(&kpis).unwrap();
+    ForecastContext::build(&kpis, &scored, Target::BeHotSpot).unwrap()
+}
+
+/// Mean AP of RF-F1 under one engine, averaged over forecast days
+/// *and* forest seeds.
+///
+/// The seed average matters: a single forest's AP on a small network
+/// moves a few percent between any two equally-good ensembles (exact
+/// vs histogram differ in tie-breaks on continuous features, so they
+/// are different ensembles). Averaging over seeds isolates the
+/// systematic effect of binning — the thing the 1% bound is about —
+/// from forest sampling noise.
+fn mean_ap(ctx: &ForecastContext, split: SplitStrategy) -> f64 {
+    let mut aps = Vec::new();
+    for t in (30..61).step_by(4) {
+        let spec = WindowSpec::new(t, 1, 7);
+        assert!(spec.fits(ctx.n_days()), "t={t} must fit the series");
+        let labels = ctx.labels_at(spec.target_day());
+        if !labels.iter().any(|&y| y) {
+            continue;
+        }
+        for seed in [1u64, 3, 5] {
+            let config = ClassifierConfig {
+                n_trees: 40,
+                train_days: 5,
+                seed,
+                split,
+                ..ClassifierConfig::rf_f1()
+            };
+            let fitted = fit_and_forecast(ctx, &spec, &config).expect("training data");
+            aps.push(average_precision(&labels, &fitted.predictions));
+        }
+    }
+    assert!(!aps.is_empty(), "no evaluable day had positives");
+    aps.iter().sum::<f64>() / aps.len() as f64
+}
+
+/// On continuous features — where binning genuinely quantises — the
+/// histogram engine's ranking quality must match exact search to
+/// within 1% relative (ISSUE acceptance bound).
+#[test]
+fn simnet_ap_within_one_percent_of_exact() {
+    let ctx = simnet_context();
+    let exact = mean_ap(&ctx, SplitStrategy::Exact);
+    let hist = mean_ap(&ctx, SplitStrategy::histogram());
+    assert!(exact > 0.0, "exact AP must be positive, got {exact}");
+    let rel = (exact - hist).abs() / exact;
+    assert!(
+        rel <= 0.01,
+        "AP diverged: exact {exact:.4} vs histogram {hist:.4} ({:.2}% relative)",
+        rel * 100.0
+    );
+}

@@ -39,6 +39,7 @@ fn config() -> SweepConfig {
         seed: 3,
         n_threads: Some(2),
         resilience: ResiliencePolicy::default(),
+        split: Default::default(),
     }
 }
 

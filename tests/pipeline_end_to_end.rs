@@ -63,6 +63,7 @@ fn informed_models_beat_random_in_a_mini_sweep() {
         seed: 1,
         n_threads: Some(1),
         resilience: Default::default(),
+        split: Default::default(),
     };
     let result = run_sweep(&ctx, &sweep);
     assert!(result.n_evaluated() > 0);
@@ -104,6 +105,6 @@ fn forecast_window_spec_round_trip_with_context() {
     // Every fitting (t, h, w) yields one prediction per sector.
     let spec = WindowSpec::new(30, 3, 7);
     assert!(spec.fits(ctx.n_days()));
-    let preds = ModelSpec::Average.forecast(&ctx, &spec, 5, 3, 0).unwrap();
+    let preds = ModelSpec::Average.forecast(&ctx, &spec, 5, 3, 0, Default::default()).unwrap();
     assert_eq!(preds.len(), ctx.n_sectors());
 }

@@ -267,6 +267,7 @@ proptest! {
             seed: 1,
             n_threads: Some(1),
             resilience: ResiliencePolicy::default(),
+            split: Default::default(),
         };
         let dir = std::env::temp_dir().join("hotspot-proptest-checkpoint");
         std::fs::create_dir_all(&dir).unwrap();
