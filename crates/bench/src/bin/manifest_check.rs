@@ -1,15 +1,26 @@
 //! CI helper: validate a run manifest (and, optionally, a JSONL
-//! metrics stream) produced by an experiment binary.
+//! metrics stream) produced by an experiment binary — or compare two
+//! manifests.
 //!
-//! Usage: `manifest_check <run.manifest.json> [run.metrics.jsonl]`
+//! Usage:
 //!
-//! Exits non-zero — with the reason on stderr — when the manifest is
-//! missing, unparsable, records a non-`ok` outcome, or carries an
-//! empty metrics snapshot, or when any JSONL line fails to parse as an
-//! event object. Prints a one-line summary on success so CI logs show
-//! what was verified.
+//! ```text
+//! manifest_check <run.manifest.json> [run.metrics.jsonl]
+//! manifest_check --compare <a.manifest.json> <b.manifest.json>
+//! ```
+//!
+//! Validation mode exits non-zero — with the reason on stderr — when
+//! the manifest is missing, unparsable, records a non-`ok` outcome,
+//! or carries an empty metrics snapshot, or when any JSONL line fails
+//! to parse as an event object. Prints a one-line summary on success
+//! so CI logs show what was verified.
+//!
+//! Compare mode confirms the two runs share a config fingerprint
+//! (exit 1 with a diagnostic when they do not — the same refusal
+//! `merge_shards` issues for mixed-config shard sets) and prints the
+//! metric deltas between them either way.
 
-use hotspot_obs::{Json, RunManifest};
+use hotspot_obs::{compare_manifests, Json, RunManifest};
 use std::path::Path;
 
 fn fail(msg: &str) -> ! {
@@ -17,10 +28,33 @@ fn fail(msg: &str) -> ! {
     std::process::exit(1);
 }
 
+fn read(path: &Path) -> RunManifest {
+    RunManifest::read(path).unwrap_or_else(|e| fail(&format!("{}: {e}", path.display())))
+}
+
+fn compare(a_path: &Path, b_path: &Path) -> ! {
+    let cmp = compare_manifests(&read(a_path), &read(b_path));
+    println!("manifest_check: {} vs {}", a_path.display(), b_path.display());
+    print!("{}", cmp.render());
+    if !cmp.fingerprints_match() {
+        fail("config fingerprints differ — these manifests describe different experiments");
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--compare") {
+        if args.len() != 3 {
+            fail("usage: manifest_check --compare <a.manifest.json> <b.manifest.json>");
+        }
+        compare(Path::new(&args[1]), Path::new(&args[2]));
+    }
     if args.is_empty() || args.len() > 2 {
-        fail("usage: manifest_check <run.manifest.json> [run.metrics.jsonl]");
+        fail(
+            "usage: manifest_check <run.manifest.json> [run.metrics.jsonl]\n       \
+             manifest_check --compare <a.manifest.json> <b.manifest.json>",
+        );
     }
 
     let manifest_path = Path::new(&args[0]);

@@ -1,23 +1,41 @@
-//! Per-stage performance baseline for the tree substrate (ROADMAP:
-//! "per-stage performance baselines").
+//! Per-stage performance baseline for the pipeline's hot stages
+//! (ROADMAP: "per-stage performance baselines").
 //!
-//! Fits the same forest with exact and histogram split finding at the
-//! sweep's working shape (5000 rows × 63 features) and records wall
-//! clock plus the `trees.split_evaluations` counter for each engine.
+//! Four stages, each pinning one deterministic counter next to its
+//! wall-clock measurement:
+//!
+//! * `forest_fit_exact` / `forest_fit_hist` — fit the same forest with
+//!   exact and histogram split finding at the sweep's working shape
+//!   (5000 rows × 63 features); pins `trees.split_evaluations`.
+//! * `sweep_cell` — run a reduced in-process sweep over a synthetic
+//!   context and report the `sweep.cell` span aggregate (total
+//!   milliseconds across all cells); pins `trees.split_evaluations`
+//!   summed over the grid.
+//! * `imputer_fit` — train the autoencoder imputer on a gapped
+//!   synthetic tensor and report the `imputer.fit` span aggregate;
+//!   pins `imputer.cells_imputed`.
 //!
 //!   perf_baseline --record [--path BENCH_trees.json]
 //!   perf_baseline --check  [--path BENCH_trees.json]
 //!
 //! `--record` pins the current numbers to the baseline file. `--check`
 //! (the CI mode, see scripts/perf_baseline.sh) re-measures and
-//!   * asserts the split-evaluation counts match the baseline exactly —
-//!     they are a deterministic property of the algorithm, so any drift
+//!   * asserts each stage's pinned counter matches the baseline exactly —
+//!     they are deterministic properties of the algorithms, so any drift
 //!     is a behaviour change, not noise;
 //!   * asserts histogram predictions are identical across thread counts
 //!     and repeated runs (determinism gate);
 //!   * flags wall-clock regressions beyond a generous tolerance band
 //!     (machines vary; the counter assertion is the hard gate).
 
+use hotspot_core::kpi::KpiCatalog;
+use hotspot_core::pipeline::ScorePipeline;
+use hotspot_core::tensor::Tensor3;
+use hotspot_core::HOURS_PER_WEEK;
+use hotspot_forecast::context::{ForecastContext, Target};
+use hotspot_forecast::models::ModelSpec;
+use hotspot_forecast::sweep::{run_sweep, ResiliencePolicy, SweepConfig};
+use hotspot_nn::imputer::{AutoencoderImputer, Imputer, ImputerConfig};
 use hotspot_obs as obs;
 use hotspot_trees::{Dataset, RandomForest, RandomForestParams, SplitStrategy};
 use std::time::Instant;
@@ -57,10 +75,13 @@ fn dataset() -> Dataset {
     data
 }
 
+/// One measured stage: wall clock plus a pinned deterministic counter.
 struct Stage {
     name: &'static str,
     millis: f64,
-    split_evaluations: u64,
+    /// The metric the hard gate pins (a counter or span-count name).
+    pinned_metric: &'static str,
+    pinned: u64,
 }
 
 /// Fit once with `split`, returning timing, evaluation-counter delta,
@@ -77,48 +98,161 @@ fn fit_stage(
     let started = Instant::now();
     let forest = RandomForest::fit(data, &params);
     let millis = started.elapsed().as_secs_f64() * 1e3;
-    let split_evaluations = obs::counter("trees.split_evaluations").get() - before;
-    (Stage { name, millis, split_evaluations }, forest.predict_proba_all(data))
+    let pinned = obs::counter("trees.split_evaluations").get() - before;
+    let stage = Stage { name, millis, pinned_metric: "trees.split_evaluations", pinned };
+    (stage, forest.predict_proba_all(data))
 }
 
-/// Best-of-`REPEATS` timing for one engine; asserts the evaluation
-/// count and the predictions are identical on every repetition.
-fn best_of(
-    name: &'static str,
-    data: &Dataset,
-    split: SplitStrategy,
-    n_threads: Option<usize>,
-) -> (Stage, Vec<f64>) {
-    const REPEATS: usize = 5;
-    let (mut best, preds) = fit_stage(name, data, split, n_threads);
-    for _ in 1..REPEATS {
-        let (again, preds_again) = fit_stage(name, data, split, n_threads);
+/// Best-of-`repeats` over `measure_once`; asserts the pinned counter is
+/// identical on every repetition.
+fn best_of(repeats: usize, mut measure_once: impl FnMut() -> Stage) -> Stage {
+    let mut best = measure_once();
+    for _ in 1..repeats {
+        let again = measure_once();
         assert_eq!(
-            best.split_evaluations, again.split_evaluations,
-            "{name}: split_evaluations must be deterministic across runs"
+            best.pinned, again.pinned,
+            "{}: {} must be deterministic across runs",
+            best.name, best.pinned_metric
         );
-        assert_eq!(preds, preds_again, "{name}: predictions must be deterministic across runs");
         best.millis = best.millis.min(again.millis);
     }
-    (best, preds)
+    best
+}
+
+/// Delta of the `sweep.cell`-style span aggregate's total milliseconds
+/// between two registry snapshots.
+fn span_delta_ms(name: &str, before: &obs::MetricsSnapshot, after: &obs::MetricsSnapshot) -> f64 {
+    let b = before.spans.get(name).map(|s| s.total_ms()).unwrap_or(0.0);
+    let a = after.spans.get(name).map(|s| s.total_ms()).unwrap_or(0.0);
+    a - b
+}
+
+/// A 10-sector synthetic context with a weekday-business-hours hot
+/// cluster — the same shape the integration tests sweep.
+fn sweep_context() -> ForecastContext {
+    let catalog = KpiCatalog::standard();
+    let kpis = Tensor3::from_fn(10, HOURS_PER_WEEK * 6, 21, |i, j, k| {
+        let def = &catalog.defs()[k];
+        let dow = (j / 24) % 7;
+        if i < 3 && (6..22).contains(&(j % 24)) && dow < 5 {
+            def.degraded
+        } else {
+            def.nominal
+        }
+    });
+    let scored = ScorePipeline::standard().run(&kpis).expect("synthetic tensor scores");
+    ForecastContext::build(&kpis, &scored, Target::BeHotSpot).expect("consistent dimensions")
+}
+
+/// Run a reduced sweep and report the `sweep.cell` span aggregate,
+/// pinning the split evaluations summed over the whole grid.
+fn sweep_stage(ctx: &ForecastContext) -> Stage {
+    let config = SweepConfig {
+        models: vec![ModelSpec::RfF1],
+        ts: vec![20, 24],
+        hs: vec![1, 3],
+        ws: vec![3],
+        n_trees: 8,
+        train_days: 4,
+        random_repeats: 10,
+        seed: 3,
+        n_threads: Some(2),
+        resilience: ResiliencePolicy::default(),
+        split: SplitStrategy::default(),
+    };
+    let before = obs::global().snapshot();
+    let result = run_sweep(ctx, &config);
+    let after = obs::global().snapshot();
+    assert!(result.health.is_clean(), "sweep stage must be clean: {}", result.health.summary());
+    let evals = after.counters.get("trees.split_evaluations").copied().unwrap_or(0)
+        - before.counters.get("trees.split_evaluations").copied().unwrap_or(0);
+    Stage {
+        name: "sweep_cell",
+        millis: span_delta_ms("sweep.cell", &before, &after),
+        pinned_metric: "trees.split_evaluations",
+        pinned: evals,
+    }
+}
+
+/// Train the autoencoder imputer on a gapped synthetic tensor and
+/// report the `imputer.fit` span aggregate, pinning the imputed-cell
+/// count.
+fn imputer_stage() -> Stage {
+    // 4 sectors × 4 day-slices × 21 KPIs with a deterministic sparse
+    // gap pattern (~2% of cells).
+    let mut kpis = Tensor3::from_fn(4, 96, 21, |i, j, k| {
+        ((j as f64) * 0.26 + (i * 3 + k) as f64 * 0.7).sin() * 2.0 + 5.0 + k as f64
+    });
+    let (n, m, l) = kpis.shape();
+    for i in 0..n {
+        for j in 0..m {
+            for k in 0..l {
+                if (i * 31 + j * 7 + k * 13) % 47 == 0 {
+                    kpis.set(i, j, k, f64::NAN);
+                }
+            }
+        }
+    }
+    let before = obs::global().snapshot();
+    let mut imputer = AutoencoderImputer::new(ImputerConfig::fast());
+    let mut filled_tensor = kpis.clone();
+    let filled = imputer.impute(&mut filled_tensor);
+    let after = obs::global().snapshot();
+    assert!(filled > 0, "gap pattern must leave something to impute");
+    assert_eq!(filled_tensor.count_nan(), 0, "imputer must fill every gap");
+    Stage {
+        name: "imputer_fit",
+        millis: span_delta_ms("imputer.fit", &before, &after),
+        pinned_metric: "imputer.cells_imputed",
+        pinned: filled as u64,
+    }
 }
 
 fn measure() -> (Vec<Stage>, f64) {
+    // Span recording is off by default; the two span-aggregate stages
+    // need it.
+    obs::set_spans_enabled(true);
     let data = dataset();
-    let (exact, _) = best_of("forest_fit_exact", &data, SplitStrategy::Exact, Some(1));
-    let (hist, preds_1t) = best_of("forest_fit_hist", &data, SplitStrategy::default(), Some(1));
+
+    const FIT_REPEATS: usize = 5;
+    let mut exact_preds: Option<Vec<f64>> = None;
+    let exact = best_of(FIT_REPEATS, || {
+        let (stage, preds) = fit_stage("forest_fit_exact", &data, SplitStrategy::Exact, Some(1));
+        if let Some(prev) = &exact_preds {
+            assert_eq!(prev, &preds, "exact predictions must be deterministic across runs");
+        }
+        exact_preds = Some(preds);
+        stage
+    });
+    let mut hist_preds: Option<Vec<f64>> = None;
+    let hist = best_of(FIT_REPEATS, || {
+        let (stage, preds) = fit_stage("forest_fit_hist", &data, SplitStrategy::default(), Some(1));
+        if let Some(prev) = &hist_preds {
+            assert_eq!(prev, &preds, "histogram predictions must be deterministic across runs");
+        }
+        hist_preds = Some(preds);
+        stage
+    });
 
     // Determinism gate: same counts and bit-identical predictions when
     // refit under a different thread count.
     let (hist_4t, preds_4t) = fit_stage("forest_fit_hist", &data, SplitStrategy::default(), Some(4));
     assert_eq!(
-        hist.split_evaluations, hist_4t.split_evaluations,
+        hist.pinned, hist_4t.pinned,
         "split_evaluations must not depend on thread count"
     );
-    assert_eq!(preds_1t, preds_4t, "histogram predictions must not depend on thread count");
+    assert_eq!(
+        hist_preds.as_ref().expect("measured above"),
+        &preds_4t,
+        "histogram predictions must not depend on thread count"
+    );
+
+    let ctx = sweep_context();
+    let sweep = best_of(3, || sweep_stage(&ctx));
+    let imputer = best_of(3, imputer_stage);
 
     let speedup = exact.millis / hist.millis;
-    (vec![exact, hist], speedup)
+    (vec![exact, hist, sweep, imputer], speedup)
 }
 
 fn to_json(stages: &[Stage], speedup: f64) -> obs::Json {
@@ -128,7 +262,8 @@ fn to_json(stages: &[Stage], speedup: f64) -> obs::Json {
             obs::Json::obj(vec![
                 ("name", obs::Json::Str(s.name.into())),
                 ("millis", obs::Json::Num(s.millis)),
-                ("split_evaluations", obs::Json::Num(s.split_evaluations as f64)),
+                ("pinned_metric", obs::Json::Str(s.pinned_metric.into())),
+                ("pinned", obs::Json::Num(s.pinned as f64)),
             ])
         })
         .collect();
@@ -160,12 +295,11 @@ fn check(path: &std::path::Path, stages: &[Stage], speedup: f64) -> i32 {
             failures += 1;
             continue;
         };
-        let rec_evals = rec.get("split_evaluations").and_then(|v| v.as_f64()).unwrap_or(-1.0);
-        if rec_evals as u64 != stage.split_evaluations {
+        let rec_pinned = rec.get("pinned").and_then(|v| v.as_f64()).unwrap_or(-1.0);
+        if rec_pinned as u64 != stage.pinned {
             eprintln!(
-                "FAIL {}: split_evaluations {} != baseline {} (behaviour changed — \
-                 re-record deliberately)",
-                stage.name, stage.split_evaluations, rec_evals as u64
+                "FAIL {}: {} {} != baseline {} (behaviour changed — re-record deliberately)",
+                stage.name, stage.pinned_metric, stage.pinned, rec_pinned as u64
             );
             failures += 1;
         }
@@ -178,8 +312,8 @@ fn check(path: &std::path::Path, stages: &[Stage], speedup: f64) -> i32 {
             );
         } else {
             println!(
-                "ok   {}: {:.1} ms (baseline {:.1} ms), {} split evaluations",
-                stage.name, stage.millis, rec_ms, stage.split_evaluations
+                "ok   {}: {:.1} ms (baseline {:.1} ms), {} = {}",
+                stage.name, stage.millis, rec_ms, stage.pinned_metric, stage.pinned
             );
         }
     }
@@ -223,7 +357,7 @@ fn main() {
         let json = to_json(&stages, speedup);
         std::fs::write(&path, json.render() + "\n").expect("write baseline");
         for s in &stages {
-            println!("{}: {:.1} ms, {} split evaluations", s.name, s.millis, s.split_evaluations);
+            println!("{}: {:.1} ms, {} = {}", s.name, s.millis, s.pinned_metric, s.pinned);
         }
         println!("speedup exact/hist: {speedup:.2}x");
         println!("baseline recorded to {}", path.display());

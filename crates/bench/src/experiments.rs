@@ -8,7 +8,8 @@ use hotspot_eval::lift::delta_percent;
 use hotspot_forecast::context::{ForecastContext, Target};
 use hotspot_forecast::models::ModelSpec;
 use hotspot_forecast::sweep::{
-    run_sweep_resumable, ResiliencePolicy, SweepConfig, SweepResult, TableIIIGrid,
+    merge_shards, run_sweep_resumable, InProcessExecutor, ResiliencePolicy, ShardFiles,
+    ShardSpec, SweepConfig, SweepExecutor, SweepPlan, SweepResult, TableIIIGrid,
 };
 use hotspot_obs as obs;
 
@@ -26,18 +27,82 @@ pub fn resilience(opts: &RunOptions) -> ResiliencePolicy {
     ResiliencePolicy { cell_deadline_ms: opts.cell_deadline_ms, ..ResiliencePolicy::default() }
 }
 
-/// Run a sweep honouring the `--checkpoint` / `--resume` options.
+/// Run a sweep honouring the `--checkpoint` / `--resume` /
+/// `--shards` / `--shard` / `--merge` options.
 ///
 /// Without `--checkpoint` this is a plain in-memory sweep. With one,
 /// finished cells are journaled as they complete; an existing file is
 /// continued only under `--resume` (otherwise the run aborts rather
 /// than silently mixing checkpoints). Non-clean sweep health is always
 /// surfaced on stderr so partial results never pass unnoticed.
+///
+/// Sharded modes (the checkpoint path becomes the shard-file base,
+/// per [`ShardFiles::for_base`]):
+///
+/// * `--shard I` (worker): compute only shard `I` of `--shards`,
+///   journaling to the shard-derived checkpoint; the returned
+///   `SweepResult` covers only that shard's cells.
+/// * `--merge` (collector): compute nothing — validate and merge the
+///   `--shards` existing shard files and return the full merged
+///   result, refusing (with the `manifest_check --compare` style
+///   diagnostic) if the shards disagree.
 pub fn run_sweep_with_options(
     ctx: &ForecastContext,
     config: &SweepConfig,
     opts: &RunOptions,
 ) -> SweepResult {
+    let finish = |result: SweepResult| -> SweepResult {
+        obs::set_annotation("sweep_health", &result.health.summary());
+        if !result.health.is_clean() || result.health.resumed > 0 {
+            obs::warn!("sweep health: {}", result.health.summary());
+        } else {
+            obs::debug!("sweep health: {}", result.health.summary());
+        }
+        result
+    };
+
+    if opts.merge {
+        let base = opts.checkpoint.as_deref().expect("parse() enforces --checkpoint");
+        let plan = SweepPlan::new(config);
+        let files: Vec<ShardFiles> = (0..opts.shards)
+            .map(|i| ShardFiles::for_base(base, ShardSpec { index: i, count: opts.shards }))
+            .collect();
+        let merged = merge_shards(&plan, &files).unwrap_or_else(|e| {
+            obs::error!("{e}");
+            std::process::exit(2);
+        });
+        obs::info!(
+            "merged {} shards of {} ({} cells, fingerprint {:016x})",
+            opts.shards,
+            base.display(),
+            merged.result.cells.len(),
+            merged.fingerprint
+        );
+        return finish(merged.result);
+    }
+
+    if let Some(index) = opts.shard {
+        let base = opts.checkpoint.as_deref().expect("parse() enforces --checkpoint");
+        let shard = ShardSpec { index, count: opts.shards };
+        let files = ShardFiles::for_base(base, shard);
+        if files.checkpoint.exists() && !opts.resume {
+            obs::error!(
+                "shard checkpoint {} already exists; pass --resume to continue it or delete it first",
+                files.checkpoint.display()
+            );
+            std::process::exit(2);
+        }
+        let plan = SweepPlan::new(config);
+        let executor =
+            InProcessExecutor { ctx, config, shard, checkpoint: Some(files.checkpoint) };
+        let cells = executor.execute(&plan).unwrap_or_else(|e| {
+            obs::error!("sweep shard {shard} error: {e}");
+            std::process::exit(2);
+        });
+        obs::info!("shard {shard}: {} of {} plan cells done", cells.len(), plan.n_cells());
+        return finish(SweepResult::from_cells(cells));
+    }
+
     if let Some(path) = &opts.checkpoint {
         if path.exists() && !opts.resume {
             obs::error!(
@@ -52,13 +117,7 @@ pub fn run_sweep_with_options(
             obs::error!("sweep checkpoint error: {e}");
             std::process::exit(2);
         });
-    obs::set_annotation("sweep_health", &result.health.summary());
-    if !result.health.is_clean() || result.health.resumed > 0 {
-        obs::warn!("sweep health: {}", result.health.summary());
-    } else {
-        obs::debug!("sweep health: {}", result.health.summary());
-    }
-    result
+    finish(result)
 }
 
 /// Run the `(model, t, h)` sweep at a fixed window `w`.

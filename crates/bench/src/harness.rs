@@ -21,6 +21,7 @@ pub struct Experiment {
     manifest: Option<std::path::PathBuf>,
     seed: u64,
     fingerprint: String,
+    shard: Option<obs::ShardIdentity>,
     started_unix_ms: u64,
     started: Instant,
 }
@@ -44,15 +45,24 @@ impl Experiment {
         obs::set_spans_enabled(opts.manifest.is_some() || opts.metrics_out.is_some());
 
         let fingerprint = format!("{:016x}", obs::fnv1a(identity(name, opts).as_bytes()));
+        let shard =
+            opts.shard.map(|index| obs::ShardIdentity { index, count: opts.shards });
         obs::set_annotation("experiment", name);
         obs::set_annotation("config_fingerprint", &fingerprint);
-        obs::info!("{name}: starting (seed {}, config {fingerprint})", opts.seed);
+        match shard {
+            Some(s) => obs::info!(
+                "{name}: starting shard {s} (seed {}, config {fingerprint})",
+                opts.seed
+            ),
+            None => obs::info!("{name}: starting (seed {}, config {fingerprint})", opts.seed),
+        }
         Experiment {
             name: name.to_string(),
             args: std::env::args().skip(1).collect(),
             manifest: opts.manifest.clone(),
             seed: opts.seed,
             fingerprint,
+            shard,
             started_unix_ms: obs::unix_ms(),
             started: Instant::now(),
         }
@@ -66,8 +76,11 @@ impl Experiment {
 
 /// The configuration identity the fingerprint hashes: every option
 /// that can change the numbers, and none that merely redirect output
-/// (`--checkpoint`, `--manifest`, `--metrics-out`, `--log-level`) — a
-/// re-run into different files is still the same experiment.
+/// (`--checkpoint`, `--manifest`, `--metrics-out`, `--log-level`) or
+/// repartition execution (`--shards`, `--shard`, `--merge`) — a
+/// re-run into different files is still the same experiment, and every
+/// shard of one sweep must carry the same fingerprint so
+/// `merge_shards` accepts the set.
 fn identity(name: &str, opts: &RunOptions) -> String {
     format!(
         "{name}|{}|{}|{}|{}|{}|{}|{:?}|{:?}|{}|{}|{:?}|{:?}",
@@ -110,6 +123,7 @@ impl Drop for Experiment {
                 finished_unix_ms: obs::unix_ms(),
                 duration_ms,
                 outcome: outcome.to_string(),
+                shard: self.shard,
                 metrics,
             };
             match manifest.write(path) {
@@ -162,5 +176,12 @@ mod tests {
             ..base.clone()
         };
         assert_eq!(fp("fig09", &base), fp("fig09", &redirected), "output paths don't");
+
+        // Sharding is plumbing too: every worker of a partitioned
+        // sweep must fingerprint identically or merges would refuse.
+        let sharded = RunOptions { shards: 3, shard: Some(1), ..base.clone() };
+        let merging = RunOptions { shards: 3, merge: true, ..base.clone() };
+        assert_eq!(fp("fig09", &base), fp("fig09", &sharded), "shard workers match");
+        assert_eq!(fp("fig09", &base), fp("fig09", &merging), "merge mode matches");
     }
 }

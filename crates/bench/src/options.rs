@@ -60,6 +60,16 @@ pub struct RunOptions {
     /// Histogram bin budget per feature (`--max-bins`); ignored when
     /// `--split-strategy exact` is set.
     pub max_bins: u16,
+    /// Total shard count for partitioned sweeps (`--shards N`); 1
+    /// (the default) means unsharded. Sharding is execution topology,
+    /// not science: it never enters config fingerprints.
+    pub shards: u64,
+    /// Worker mode: run only shard `I` of `--shards` (`--shard I`),
+    /// journaling to the shard-derived checkpoint path.
+    pub shard: Option<u64>,
+    /// Merge mode: adopt existing shard checkpoints/manifests instead
+    /// of computing, and continue with the merged result.
+    pub merge: bool,
 }
 
 impl Default for RunOptions {
@@ -83,6 +93,9 @@ impl Default for RunOptions {
             manifest: None,
             exact_splits: false,
             max_bins: hotspot_trees::SplitStrategy::DEFAULT_MAX_BINS,
+            shards: 1,
+            shard: None,
+            merge: false,
         }
     }
 }
@@ -162,6 +175,18 @@ impl RunOptions {
                         }
                     }
                 }
+                "--shards" => {
+                    let v = parse_num(&take(&mut args, "--shards"), "--shards");
+                    if v == 0 {
+                        eprintln!("--shards must be ≥ 1");
+                        std::process::exit(2);
+                    }
+                    opts.shards = v as u64;
+                }
+                "--shard" => {
+                    opts.shard = Some(parse_num(&take(&mut args, "--shard"), "--shard") as u64)
+                }
+                "--merge" => opts.merge = true,
                 "--max-bins" => {
                     let v = parse_num(&take(&mut args, "--max-bins"), "--max-bins");
                     if v == 0 || v > u16::MAX as usize {
@@ -176,7 +201,8 @@ impl RunOptions {
                          --t-step N --imputer (ffill|mean|ae) --failure-rate F --full \
                          --checkpoint PATH --resume --firewall --cell-deadline-ms N \
                          --log-level (error|warn|info|debug) --metrics-out PATH \
-                         --manifest PATH --split-strategy (exact|histogram) --max-bins N"
+                         --manifest PATH --split-strategy (exact|histogram) --max-bins N \
+                         --shards N --shard I --merge"
                     );
                     std::process::exit(0);
                 }
@@ -189,6 +215,20 @@ impl RunOptions {
         if opts.full {
             opts.t_step = 1;
             opts.trees = opts.trees.max(100);
+        }
+        if opts.shard.is_some() && opts.merge {
+            eprintln!("--shard (worker mode) and --merge (collector mode) are mutually exclusive");
+            std::process::exit(2);
+        }
+        if let Some(i) = opts.shard {
+            if i >= opts.shards {
+                eprintln!("--shard {i} is out of range for --shards {}", opts.shards);
+                std::process::exit(2);
+            }
+        }
+        if (opts.shard.is_some() || opts.merge || opts.shards > 1) && opts.checkpoint.is_none() {
+            eprintln!("--shards/--shard/--merge need --checkpoint PATH as the shard file base");
+            std::process::exit(2);
         }
         opts
     }
@@ -307,6 +347,19 @@ mod tests {
         // Flag order must not matter: --max-bins before --split-strategy.
         let swapped = parse(&["--max-bins", "64", "--split-strategy", "histogram"]);
         assert_eq!(swapped.split_strategy(), SplitStrategy::Histogram { max_bins: 64 });
+    }
+
+    #[test]
+    fn parses_sharding_flags() {
+        let d = parse(&[]);
+        assert_eq!(d.shards, 1);
+        assert_eq!(d.shard, None);
+        assert!(!d.merge);
+        let w = parse(&["--checkpoint", "/tmp/sweep.tsv", "--shards", "3", "--shard", "1"]);
+        assert_eq!(w.shards, 3);
+        assert_eq!(w.shard, Some(1));
+        let m = parse(&["--checkpoint", "/tmp/sweep.tsv", "--shards", "3", "--merge"]);
+        assert!(m.merge);
     }
 
     #[test]

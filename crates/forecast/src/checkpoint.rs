@@ -1,14 +1,29 @@
 //! Append-only sweep checkpoints.
 //!
 //! A checkpoint is a TSV journal: one header line binding the file to
-//! a specific [`SweepConfig`](crate::sweep::SweepConfig), then one
-//! line per finished cell, appended (and flushed) the moment the cell
-//! completes. The format is designed to be *crash-consistent* rather
-//! than transactional: a process killed mid-write leaves at most one
-//! torn trailing line, which loading tolerates (the cell simply reruns)
-//! and appending truncates before continuing. Anything else malformed —
-//! a corrupt interior line, a header for a different config — is a
-//! real error and refuses to resume rather than silently mixing runs.
+//! a specific [`SweepConfig`](crate::sweep::SweepConfig) *and shard*,
+//! then one line per finished cell, appended (and flushed) the moment
+//! the cell completes. The format is designed to be *crash-consistent*
+//! rather than transactional: a process killed mid-write leaves at
+//! most one torn trailing line, which loading tolerates (the cell
+//! simply reruns) and appending truncates before continuing. Anything
+//! else malformed — a corrupt interior line, a header for a different
+//! config, a grid shape or shard that disagrees with the plan, a
+//! duplicated or off-shard cell — is a real error and refuses to
+//! resume rather than silently mixing runs.
+//!
+//! The v2 header carries three facts:
+//!
+//! ```text
+//! # hotspot-sweep-checkpoint v2 fingerprint=0123456789abcdef cells=288 shard=1/3
+//! ```
+//!
+//! `fingerprint` is [`config_fingerprint`] (FNV-1a over the outcome-
+//! determining config fields), `cells` is the number of plan cells
+//! this shard covers (the grid-shape cross-check — a fingerprint
+//! collision or hand-edited header cannot smuggle in a different
+//! grid), and `shard` is the [`ShardSpec`] the journal belongs to
+//! (`0/1` for unsharded runs).
 //!
 //! Floats are serialised with `{:?}` (Rust's shortest round-trip
 //! rendering), so a resumed record is bit-identical to the one the
@@ -17,19 +32,22 @@
 
 use crate::evaluate::EvalRecord;
 use crate::models::ModelSpec;
-use crate::sweep::{CellOutcome, SweepCell, SweepConfig};
+use crate::sweep::{CellKey, CellOutcome, ShardSpec, SweepCell, SweepConfig, SweepPlan};
 use hotspot_core::error::{CoreError, Result as CoreResult};
 use parking_lot::Mutex;
+use std::collections::HashSet;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
-const MAGIC: &str = "# hotspot-sweep-checkpoint v1";
+const MAGIC: &str = "# hotspot-sweep-checkpoint v2";
 
 /// FNV-1a over the config fields that determine cell outcomes.
 /// `n_threads` is deliberately excluded — a resume on a different
-/// machine shape is still the same sweep.
-fn fingerprint(config: &SweepConfig) -> u64 {
+/// machine shape is still the same sweep — and so is sharding, which
+/// is execution topology, not science: every shard of a sweep (and
+/// its merge) carries the same fingerprint.
+pub fn config_fingerprint(config: &SweepConfig) -> u64 {
     let identity = format!(
         "{:?}|{:?}|{:?}|{:?}|{}|{}|{}|{}|{:?}|{:?}",
         config.models.iter().map(|m| m.name()).collect::<Vec<_>>(),
@@ -51,7 +69,7 @@ fn fingerprint(config: &SweepConfig) -> u64 {
     hash
 }
 
-fn escape(s: &str) -> String {
+pub(crate) fn escape_field(s: &str) -> String {
     s.replace('\\', "\\\\").replace('\t', "\\t").replace('\n', "\\n").replace('\r', "\\r")
 }
 
@@ -79,6 +97,59 @@ fn unescape(s: &str) -> String {
     out
 }
 
+/// The facts a v2 checkpoint header asserts about its journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointHeader {
+    /// [`config_fingerprint`] of the sweep that wrote the journal.
+    pub fingerprint: u64,
+    /// Number of plan cells the journal's shard covers.
+    pub cells: usize,
+    /// Which shard the journal belongs to (`0/1` = unsharded).
+    pub shard: ShardSpec,
+}
+
+impl CheckpointHeader {
+    fn render(&self) -> String {
+        format!(
+            "{MAGIC} fingerprint={:016x} cells={} shard={}",
+            self.fingerprint, self.cells, self.shard
+        )
+    }
+
+    fn parse(line: &str) -> CoreResult<CheckpointHeader> {
+        let bad = |why: &str| {
+            CoreError::InvalidData(format!("checkpoint header {line:?}: {why}"))
+        };
+        let rest = line
+            .strip_prefix(MAGIC)
+            .ok_or_else(|| bad("not a v2 checkpoint (wrong magic — older formats do not resume)"))?;
+        let mut fingerprint = None;
+        let mut cells = None;
+        let mut shard = None;
+        for token in rest.split_whitespace() {
+            match token.split_once('=') {
+                Some(("fingerprint", v)) => {
+                    fingerprint = Some(
+                        u64::from_str_radix(v, 16).map_err(|_| bad("bad fingerprint field"))?,
+                    )
+                }
+                Some(("cells", v)) => {
+                    cells = Some(v.parse().map_err(|_| bad("bad cells field"))?)
+                }
+                Some(("shard", v)) => {
+                    shard = Some(ShardSpec::parse(v).ok_or_else(|| bad("bad shard field"))?)
+                }
+                _ => return Err(bad("unknown header field")),
+            }
+        }
+        Ok(CheckpointHeader {
+            fingerprint: fingerprint.ok_or_else(|| bad("missing fingerprint"))?,
+            cells: cells.ok_or_else(|| bad("missing cells"))?,
+            shard: shard.ok_or_else(|| bad("missing shard"))?,
+        })
+    }
+}
+
 /// One cell recovered from a checkpoint file.
 #[derive(Debug, Clone)]
 pub struct CheckpointEntry {
@@ -99,6 +170,11 @@ pub struct CheckpointEntry {
 }
 
 impl CheckpointEntry {
+    /// This entry's grid coordinate.
+    pub fn key(&self) -> CellKey {
+        CellKey { model: self.model, t: self.t, h: self.h, w: self.w }
+    }
+
     /// Convert into a [`SweepCell`] flagged as resumed.
     pub fn into_cell(self) -> SweepCell {
         SweepCell {
@@ -133,7 +209,7 @@ fn render_line(cell: &SweepCell) -> String {
             cols.push(r.evaluated.to_string());
         }
         CellOutcome::Empty | CellOutcome::TimedOut { .. } => {}
-        CellOutcome::Failed { error, .. } => cols.push(escape(error)),
+        CellOutcome::Failed { error, .. } => cols.push(escape_field(error)),
     }
     cols.join("\t")
 }
@@ -186,31 +262,21 @@ fn parse_line(line: &str, line_no: usize) -> CoreResult<CheckpointEntry> {
     Ok(CheckpointEntry { model, t, h, w, outcome, elapsed_ms, attempts })
 }
 
-/// Load the cells journaled in `path`.
+/// Load a checkpoint without a config to validate against: the header
+/// and every complete entry, as written. The collector uses this to
+/// gather shard journals before doing its own cross-shard validation.
 ///
-/// A missing file is an empty checkpoint (fresh run). A torn final
-/// line — no trailing newline, as a crash mid-append leaves — is
-/// dropped, not an error; that cell simply reruns. Corrupt *complete*
-/// lines and config-fingerprint mismatches are errors.
-pub fn load_checkpoint(path: &Path, config: &SweepConfig) -> CoreResult<Vec<CheckpointEntry>> {
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
-        Err(e) => return Err(e.into()),
-    };
+/// Unlike [`load_checkpoint`], a **missing file is an error** here —
+/// a merge cannot proceed without the shard.
+pub fn load_checkpoint_raw(path: &Path) -> CoreResult<(CheckpointHeader, Vec<CheckpointEntry>)> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CoreError::InvalidData(format!("cannot read {}: {e}", path.display())))?;
     let complete = match text.rfind('\n') {
         Some(end) => &text[..end],
         None => return Err(CoreError::InvalidData("checkpoint has no complete header".into())),
     };
     let mut lines = complete.split('\n');
-    let header = lines.next().unwrap_or("");
-    let expected = format!("{MAGIC} fingerprint={:016x}", fingerprint(config));
-    if header != expected {
-        return Err(CoreError::InvalidData(format!(
-            "checkpoint header mismatch: found {header:?}, expected {expected:?} — \
-             this checkpoint belongs to a different sweep configuration"
-        )));
-    }
+    let header = CheckpointHeader::parse(lines.next().unwrap_or(""))?;
     let mut entries = Vec::new();
     for (i, line) in lines.enumerate() {
         if line.is_empty() {
@@ -218,29 +284,105 @@ pub fn load_checkpoint(path: &Path, config: &SweepConfig) -> CoreResult<Vec<Chec
         }
         entries.push(parse_line(line, i + 2)?);
     }
+    Ok((header, entries))
+}
+
+/// Load the cells journaled in `path` for one shard of `config`'s
+/// plan.
+///
+/// A missing file is an empty checkpoint (fresh run). A torn final
+/// line — no trailing newline, as a crash mid-append leaves — is
+/// dropped, not an error; that cell simply reruns. Refused with a
+/// [`CoreError::InvalidData`]: corrupt *complete* lines, a config-
+/// fingerprint mismatch, a header whose cell count disagrees with the
+/// plan's grid shape, a shard mismatch, and entries that are
+/// duplicated or fall outside the shard's slice of the plan.
+pub fn load_checkpoint_sharded(
+    path: &Path,
+    config: &SweepConfig,
+    shard: ShardSpec,
+) -> CoreResult<Vec<CheckpointEntry>> {
+    shard.validate()?;
+    if !path.exists() {
+        return Ok(Vec::new());
+    }
+    let (header, entries) = load_checkpoint_raw(path)?;
+    if header.fingerprint != config_fingerprint(config) {
+        return Err(CoreError::InvalidData(format!(
+            "checkpoint fingerprint mismatch: found {:016x}, expected {:016x} — \
+             this checkpoint belongs to a different sweep configuration",
+            header.fingerprint,
+            config_fingerprint(config)
+        )));
+    }
+    if header.shard != shard {
+        return Err(CoreError::InvalidData(format!(
+            "checkpoint belongs to shard {}, this run is shard {shard}",
+            header.shard
+        )));
+    }
+    let plan = SweepPlan::new(config);
+    let owned: HashSet<CellKey> = plan.shard_cells(shard).into_iter().collect();
+    if header.cells != owned.len() {
+        return Err(CoreError::InvalidData(format!(
+            "checkpoint grid shape mismatch: header declares {} cells for shard {shard} \
+             but the plan assigns it {} — the fingerprint matches yet the grid does not, \
+             so the checkpoint cannot be trusted for resume",
+            header.cells,
+            owned.len()
+        )));
+    }
+    let mut seen: HashSet<CellKey> = HashSet::with_capacity(entries.len());
+    for entry in &entries {
+        let key = entry.key();
+        if !owned.contains(&key) {
+            return Err(CoreError::InvalidData(format!(
+                "checkpoint entry {key} is outside shard {shard}'s slice of the plan"
+            )));
+        }
+        if !seen.insert(key) {
+            return Err(CoreError::InvalidData(format!(
+                "checkpoint entry {key} appears twice — journal is corrupt"
+            )));
+        }
+    }
     Ok(entries)
 }
 
+/// [`load_checkpoint_sharded`] for the unsharded whole.
+pub fn load_checkpoint(path: &Path, config: &SweepConfig) -> CoreResult<Vec<CheckpointEntry>> {
+    load_checkpoint_sharded(path, config, ShardSpec::FULL)
+}
+
 /// Appends finished cells to a checkpoint file, creating it (with its
-/// config-fingerprint header) when absent. Safe to share across sweep
-/// worker threads; every line is written and flushed atomically with
-/// respect to the other workers.
+/// v2 header) when absent. Safe to share across sweep worker threads;
+/// every line is written and flushed atomically with respect to the
+/// other workers.
 pub struct CheckpointWriter {
     file: Mutex<File>,
 }
 
 impl CheckpointWriter {
-    /// Open `path` for appending. An existing file is first truncated
-    /// back to its last complete line, discarding a torn tail from an
-    /// earlier crash.
-    pub fn open(path: &Path, config: &SweepConfig) -> CoreResult<Self> {
+    /// Open `path` for appending as `shard`'s journal. An existing
+    /// file is first truncated back to its last complete line,
+    /// discarding a torn tail from an earlier crash.
+    pub fn open_sharded(
+        path: &Path,
+        config: &SweepConfig,
+        shard: ShardSpec,
+    ) -> CoreResult<Self> {
+        shard.validate()?;
         let mut file =
             OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
         let mut existing = String::new();
         file.read_to_string(&mut existing)?;
         if existing.is_empty() {
-            let header = format!("{MAGIC} fingerprint={:016x}\n", fingerprint(config));
-            file.write_all(header.as_bytes())?;
+            let header = CheckpointHeader {
+                fingerprint: config_fingerprint(config),
+                cells: SweepPlan::new(config).shard_cells(shard).len(),
+                shard,
+            };
+            file.write_all(format!("{}\n", header.render()).as_bytes())?;
         } else {
             // Keep everything through the final newline; a torn tail
             // (crash mid-append) is overwritten by the next cell.
@@ -250,6 +392,11 @@ impl CheckpointWriter {
         }
         file.flush()?;
         Ok(CheckpointWriter { file: Mutex::new(file) })
+    }
+
+    /// [`CheckpointWriter::open_sharded`] for the unsharded whole.
+    pub fn open(path: &Path, config: &SweepConfig) -> CoreResult<Self> {
+        Self::open_sharded(path, config, ShardSpec::FULL)
     }
 
     /// Journal one finished cell.
@@ -284,17 +431,8 @@ mod tests {
         }
     }
 
-    fn cell(outcome: CellOutcome) -> SweepCell {
-        SweepCell {
-            model: ModelSpec::RfF1,
-            t: 20,
-            h: 1,
-            w: 3,
-            outcome,
-            elapsed_ms: 17,
-            attempts: 2,
-            resumed: false,
-        }
+    fn cell(model: ModelSpec, t: usize, outcome: CellOutcome) -> SweepCell {
+        SweepCell { model, t, h: 1, w: 3, outcome, elapsed_ms: 17, attempts: 2, resumed: false }
     }
 
     fn tmp(name: &str) -> std::path::PathBuf {
@@ -320,9 +458,13 @@ mod tests {
             CellOutcome::Failed { error: "panic\twith\ttabs\nand newlines".into(), elapsed_ms: 17, attempts: 2 },
             CellOutcome::TimedOut { elapsed_ms: 17, attempts: 2 },
         ];
+        // One distinct plan cell per outcome (the loader refuses
+        // duplicated coordinates).
+        let coords =
+            [(ModelSpec::Average, 20), (ModelSpec::Average, 24), (ModelSpec::RfF1, 20), (ModelSpec::RfF1, 24)];
         let writer = CheckpointWriter::open(&path, &cfg).unwrap();
-        for o in &outcomes {
-            writer.append(&cell(o.clone())).unwrap();
+        for (o, (m, t)) in outcomes.iter().zip(coords) {
+            writer.append(&cell(m, t, o.clone())).unwrap();
         }
         drop(writer);
         let loaded = load_checkpoint(&path, &cfg).unwrap();
@@ -340,6 +482,8 @@ mod tests {
         let path = tmp("never_created.tsv");
         let _ = std::fs::remove_file(&path);
         assert!(load_checkpoint(&path, &config()).unwrap().is_empty());
+        // But the raw (collector) loader insists on the file existing.
+        assert!(load_checkpoint_raw(&path).is_err());
     }
 
     #[test]
@@ -348,7 +492,7 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         let cfg = config();
         let writer = CheckpointWriter::open(&path, &cfg).unwrap();
-        writer.append(&cell(CellOutcome::Empty)).unwrap();
+        writer.append(&cell(ModelSpec::Average, 20, CellOutcome::Empty)).unwrap();
         drop(writer);
         // Simulate a crash mid-append: a partial record, no newline.
         let mut raw = std::fs::read_to_string(&path).unwrap();
@@ -360,7 +504,7 @@ mod tests {
 
         // Reopening for append truncates the tail so new lines parse.
         let writer = CheckpointWriter::open(&path, &cfg).unwrap();
-        writer.append(&cell(CellOutcome::Empty)).unwrap();
+        writer.append(&cell(ModelSpec::Average, 24, CellOutcome::Empty)).unwrap();
         drop(writer);
         assert_eq!(load_checkpoint(&path, &cfg).unwrap().len(), 2);
     }
@@ -371,7 +515,7 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         let cfg = config();
         let writer = CheckpointWriter::open(&path, &cfg).unwrap();
-        writer.append(&cell(CellOutcome::Empty)).unwrap();
+        writer.append(&cell(ModelSpec::Average, 20, CellOutcome::Empty)).unwrap();
         drop(writer);
         let mut raw = std::fs::read_to_string(&path).unwrap();
         raw.push_str("not\ta\tvalid\trecord\n");
@@ -395,24 +539,95 @@ mod tests {
     }
 
     #[test]
+    fn grid_shape_mismatch_refuses_to_resume_even_with_matching_fingerprint() {
+        let path = tmp("grid_shape.tsv");
+        let _ = std::fs::remove_file(&path);
+        let cfg = config();
+        drop(CheckpointWriter::open(&path, &cfg).unwrap());
+        // Hand-edit the header's cell count: fingerprint still
+        // matches, but the declared grid shape no longer does.
+        let raw = std::fs::read_to_string(&path).unwrap();
+        let edited = raw.replace("cells=4", "cells=5");
+        assert_ne!(raw, edited, "test premise: config has 4 cells");
+        std::fs::write(&path, &edited).unwrap();
+        let err = load_checkpoint(&path, &cfg).unwrap_err();
+        assert!(err.to_string().contains("grid shape mismatch"), "{err}");
+    }
+
+    #[test]
+    fn shard_journals_are_bound_to_their_shard() {
+        let path = tmp("sharded.tsv");
+        let _ = std::fs::remove_file(&path);
+        let cfg = config();
+        let shard0 = ShardSpec { index: 0, count: 2 };
+        let shard1 = ShardSpec { index: 1, count: 2 };
+        let plan = SweepPlan::new(&cfg);
+        let mine = plan.shard_cells(shard0);
+        let theirs = plan.shard_cells(shard1);
+        assert!(!mine.is_empty() && !theirs.is_empty(), "partition split 4 cells unevenly");
+
+        let writer = CheckpointWriter::open_sharded(&path, &cfg, shard0).unwrap();
+        writer.append(&cell(mine[0].model, mine[0].t, CellOutcome::Empty)).unwrap();
+        drop(writer);
+        assert_eq!(load_checkpoint_sharded(&path, &cfg, shard0).unwrap().len(), 1);
+        // Loading as the wrong shard refuses.
+        let err = load_checkpoint_sharded(&path, &cfg, shard1).unwrap_err();
+        assert!(err.to_string().contains("belongs to shard 0/2"), "{err}");
+
+        // An entry from the other shard's slice refuses.
+        let writer = CheckpointWriter::open_sharded(&path, &cfg, shard0).unwrap();
+        writer.append(&cell(theirs[0].model, theirs[0].t, CellOutcome::Empty)).unwrap();
+        drop(writer);
+        let err = load_checkpoint_sharded(&path, &cfg, shard0).unwrap_err();
+        assert!(err.to_string().contains("outside shard"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_entries_refuse_to_resume() {
+        let path = tmp("duplicates.tsv");
+        let _ = std::fs::remove_file(&path);
+        let cfg = config();
+        let writer = CheckpointWriter::open(&path, &cfg).unwrap();
+        writer.append(&cell(ModelSpec::Average, 20, CellOutcome::Empty)).unwrap();
+        writer.append(&cell(ModelSpec::Average, 20, CellOutcome::Empty)).unwrap();
+        drop(writer);
+        let err = load_checkpoint(&path, &cfg).unwrap_err();
+        assert!(err.to_string().contains("appears twice"), "{err}");
+    }
+
+    #[test]
+    fn raw_loader_reports_header_facts() {
+        let path = tmp("raw.tsv");
+        let _ = std::fs::remove_file(&path);
+        let cfg = config();
+        let shard = ShardSpec { index: 1, count: 3 };
+        drop(CheckpointWriter::open_sharded(&path, &cfg, shard).unwrap());
+        let (header, entries) = load_checkpoint_raw(&path).unwrap();
+        assert_eq!(header.fingerprint, config_fingerprint(&cfg));
+        assert_eq!(header.shard, shard);
+        assert_eq!(header.cells, SweepPlan::new(&cfg).shard_cells(shard).len());
+        assert!(entries.is_empty());
+    }
+
+    #[test]
     fn thread_count_does_not_change_fingerprint() {
         let a = config();
         let mut b = config();
         b.n_threads = None;
-        assert_eq!(fingerprint(&a), fingerprint(&b));
+        assert_eq!(config_fingerprint(&a), config_fingerprint(&b));
         let mut c = config();
         c.seed = 4;
-        assert_ne!(fingerprint(&a), fingerprint(&c));
+        assert_ne!(config_fingerprint(&a), config_fingerprint(&c));
         // The split engine changes cell outcomes, so it must bind.
         let mut d = config();
         d.split = hotspot_trees::SplitStrategy::Exact;
-        assert_ne!(fingerprint(&a), fingerprint(&d));
+        assert_ne!(config_fingerprint(&a), config_fingerprint(&d));
     }
 
     #[test]
     fn escape_round_trips() {
         for s in ["plain", "tab\tnl\ncr\rback\\slash", "\\t literal", ""] {
-            assert_eq!(unescape(&escape(s)), s);
+            assert_eq!(unescape(&escape_field(s)), s);
         }
     }
 }

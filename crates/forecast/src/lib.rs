@@ -4,8 +4,10 @@
 //! Persist, Average, Trend), four tree-based models (Tree, RF-R,
 //! RF-F1, RF-F2) plus a GBDT extension, the two forecast targets
 //! ("be a hot spot", "become a hot spot"), per-day ranking evaluation
-//! (average precision → lift over random), and a parallel sweep
-//! runner over the `(model, t, h, w)` grid of Table III.
+//! (average precision → lift over random), and a plan → executor →
+//! collector sweep engine over the `(model, t, h, w)` grid of
+//! Table III, with in-process thread-pool and sharded multi-process
+//! execution plus a deterministic merge.
 
 pub mod baselines;
 pub mod checkpoint;
@@ -20,8 +22,13 @@ pub use classifier::{ClassifierConfig, ClassifierKind, FittedClassifier};
 pub use context::{ForecastContext, Target};
 pub use evaluate::{evaluate_day, EvalRecord};
 pub use models::ModelSpec;
-pub use checkpoint::{load_checkpoint, CheckpointWriter};
+pub use checkpoint::{
+    config_fingerprint, load_checkpoint, load_checkpoint_raw, load_checkpoint_sharded,
+    CheckpointHeader, CheckpointWriter,
+};
 pub use sweep::{
-    run_sweep, run_sweep_resumable, CellOutcome, FaultPlan, ResiliencePolicy, SweepCell,
-    SweepConfig, SweepHealth, SweepResult, TableIIIGrid,
+    canonical_tsv, deterministic_projection, merge_shards, run_sweep, run_sweep_resumable,
+    CellKey, CellOutcome, FaultPlan, InProcessExecutor, MergedSweep, MultiProcessExecutor,
+    ResiliencePolicy, ShardFiles, ShardSpec, SweepCell, SweepConfig, SweepExecutor, SweepHealth,
+    SweepPlan, SweepResult, TableIIIGrid, WorkerSpec,
 };

@@ -1,35 +1,47 @@
-//! The `(model, t, h, w)` grid sweep of Table III, run in parallel
-//! across grid cells — resiliently.
+//! The `(model, t, h, w)` grid sweep of Table III, structured as an
+//! explicit **plan → executor → collector** engine.
 //!
-//! A Table III sweep is tens of thousands of independent fits; at that
-//! volume the question is not *whether* a cell will misbehave but what
-//! happens when one does. Each cell therefore runs under
-//! [`catch_unwind`](std::panic::catch_unwind): a panic becomes a
-//! structured [`CellOutcome::Failed`] instead of tearing down the
-//! scope and losing every other worker's results. Failed cells get a
-//! bounded number of retries with deterministic reseeding, cells can
-//! carry a cooperative soft deadline (see
-//! [`CancelToken`](hotspot_trees::CancelToken)), and the final
-//! [`SweepResult`] carries a [`SweepHealth`] triage report. The
-//! [`run_sweep_resumable`] variant additionally journals every
-//! completed cell to an append-only checkpoint so an interrupted sweep
-//! resumes where it stopped (see [`crate::checkpoint`]).
+//! A Table III sweep is tens of thousands of independent fits. This
+//! module decomposes the run into three layers, each testable on its
+//! own:
+//!
+//! * **plan** ([`SweepPlan`]) — enumerate the grid in one canonical
+//!   order, carry the config fingerprint, and partition the cells into
+//!   N deterministic shards by stable cell key;
+//! * **executor** ([`SweepExecutor`]) — actually run cells.
+//!   [`InProcessExecutor`] is the classic thread-pool path with
+//!   per-cell [`catch_unwind`](std::panic::catch_unwind) panic
+//!   isolation, bounded deterministic retry, cooperative deadlines
+//!   (see [`CancelToken`](hotspot_trees::CancelToken)), and an
+//!   append-only checkpoint journal. [`MultiProcessExecutor`] spawns
+//!   one worker *process* per shard (`--shard i/N`), each journaling
+//!   its own checkpoint plus metrics/manifest sidecars;
+//! * **collector** ([`merge_shards`]) — validate that every shard
+//!   belongs to the same configuration (checkpoint fingerprints, and
+//!   manifest sidecars when present) and merge the shards back into a
+//!   single [`SweepResult`] whose deterministic artifacts are
+//!   byte-identical to a single-process run of the same config.
+//!
+//! The historic entry points [`run_sweep`] and [`run_sweep_resumable`]
+//! remain as thin wrappers over plan + execute + collect, so existing
+//! callers keep their exact semantics (including crash-consistent
+//! resume and the [`SweepHealth`] triage report).
 
-use crate::checkpoint::{load_checkpoint, CheckpointWriter};
-use crate::classifier::fit_and_forecast;
+pub mod collector;
+pub mod executor;
+pub mod plan;
+
+pub use collector::{canonical_tsv, deterministic_projection, merge_shards, MergedSweep, ShardFiles};
+pub use executor::{InProcessExecutor, MultiProcessExecutor, SweepExecutor, WorkerSpec};
+pub use plan::{CellKey, ShardSpec, SweepPlan};
+
 use crate::context::ForecastContext;
-use crate::evaluate::{evaluate_day, EvalRecord};
+use crate::evaluate::EvalRecord;
 use crate::models::ModelSpec;
 use hotspot_core::error::Result as CoreResult;
-use hotspot_features::windows::WindowSpec;
-use hotspot_obs as obs;
-use hotspot_trees::{CancelToken, SplitStrategy};
-use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use hotspot_trees::SplitStrategy;
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// The paper's Table III grid values.
 pub struct TableIIIGrid;
@@ -88,7 +100,7 @@ impl FaultPlan {
     }
 
     /// Apply the plan for one attempt: may sleep, may panic.
-    fn apply(&self, model: ModelSpec, t: usize, h: usize, w: usize, attempt: u32) {
+    pub(crate) fn apply(&self, model: ModelSpec, t: usize, h: usize, w: usize, attempt: u32) {
         if self.cell_hash(model, t, h, w, 0xDE1A) < self.delay_fraction {
             std::thread::sleep(Duration::from_millis(self.delay_ms));
         }
@@ -110,7 +122,7 @@ impl FaultPlan {
     }
 }
 
-fn splitmix(x: u64) -> u64 {
+pub(crate) fn splitmix(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -259,6 +271,11 @@ impl SweepCell {
     pub fn record(&self) -> Option<&EvalRecord> {
         self.outcome.record()
     }
+
+    /// This cell's position in the grid, as the planner keys it.
+    pub fn key(&self) -> CellKey {
+        CellKey { model: self.model, t: self.t, h: self.h, w: self.w }
+    }
 }
 
 /// Triage summary of a sweep: how many cells landed in each outcome,
@@ -329,13 +346,21 @@ impl SweepHealth {
 /// All cells of a sweep, with query helpers and a health report.
 #[derive(Debug, Clone, Default)]
 pub struct SweepResult {
-    /// Finished cells (order unspecified).
+    /// Finished cells (order unspecified for in-process runs;
+    /// canonical plan order for merged runs).
     pub cells: Vec<SweepCell>,
     /// Triage summary.
     pub health: SweepHealth,
 }
 
 impl SweepResult {
+    /// Assemble a result from finished cells (computes the health
+    /// report) — the collector step shared by every execution path.
+    pub fn from_cells(cells: Vec<SweepCell>) -> Self {
+        let health = SweepHealth::from_cells(&cells);
+        SweepResult { cells, health }
+    }
+
     /// Lift values over `t` for a `(model, h, w)` slice (finite only).
     pub fn lifts(&self, model: ModelSpec, h: usize, w: usize) -> Vec<f64> {
         self.cells
@@ -407,223 +432,27 @@ pub fn run_sweep(ctx: &ForecastContext, config: &SweepConfig) -> SweepResult {
 /// only the remainder — and, because cells are deterministic under the
 /// config seed, produces the same records an uninterrupted run would.
 ///
+/// This is the plan → execute → collect pipeline specialised to one
+/// in-process executor covering the full (unsharded) plan.
+///
 /// # Errors
 ///
 /// Checkpoint I/O and validation errors (wrong config fingerprint,
-/// corrupt non-final lines). The sweep computation itself never errors.
+/// grid shape disagreeing with the plan, corrupt non-final lines). The
+/// sweep computation itself never errors.
 pub fn run_sweep_resumable(
     ctx: &ForecastContext,
     config: &SweepConfig,
     checkpoint: Option<&Path>,
 ) -> CoreResult<SweepResult> {
-    let _span = obs::span!("sweep");
-    let mut combos: Vec<(ModelSpec, usize, usize, usize)> = Vec::new();
-    for &m in &config.models {
-        for &t in &config.ts {
-            for &h in &config.hs {
-                for &w in &config.ws {
-                    combos.push((m, t, h, w));
-                }
-            }
-        }
-    }
-
-    let mut done: HashMap<(ModelSpec, usize, usize, usize), SweepCell> = HashMap::new();
-    let writer = match checkpoint {
-        Some(path) => {
-            for entry in load_checkpoint(path, config)? {
-                done.insert((entry.model, entry.t, entry.h, entry.w), entry.into_cell());
-            }
-            Some(CheckpointWriter::open(path, config)?)
-        }
-        None => None,
+    let plan = SweepPlan::new(config);
+    let executor = InProcessExecutor {
+        ctx,
+        config,
+        shard: ShardSpec::FULL,
+        checkpoint: checkpoint.map(Path::to_path_buf),
     };
-
-    let threads = config
-        .n_threads
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
-        .clamp(1, combos.len().max(1));
-    let results: Mutex<Vec<SweepCell>> = Mutex::new(Vec::with_capacity(combos.len()));
-    let write_error: Mutex<Option<hotspot_core::CoreError>> = Mutex::new(None);
-    let next = AtomicUsize::new(0);
-
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                if idx >= combos.len() {
-                    break;
-                }
-                let (model, t, h, w) = combos[idx];
-                let cell = match done.get(&(model, t, h, w)) {
-                    Some(prev) => prev.clone(),
-                    None => {
-                        let cell = run_cell_resilient(ctx, config, model, t, h, w);
-                        if let Some(writer) = &writer {
-                            if let Err(e) = writer.append(&cell) {
-                                write_error.lock().get_or_insert(e);
-                            }
-                        }
-                        cell
-                    }
-                };
-                record_cell_metrics(&cell);
-                results.lock().push(cell);
-            });
-        }
-    })
-    .expect("sweep worker panicked outside cell isolation");
-
-    if let Some(e) = write_error.into_inner() {
-        return Err(e);
-    }
-    let cells = results.into_inner();
-    let health = SweepHealth::from_cells(&cells);
-    Ok(SweepResult { cells, health })
-}
-
-/// Per-cell metric accounting, mirroring [`SweepHealth::from_cells`]
-/// so the final counter totals equal the health report: `evaluated`,
-/// `empty` (= skipped), `failed` (= errored), `timeout`, plus
-/// `retried`/`resumed` under the same conditions. Recomputed cells
-/// also feed the `sweep.cell_ms` duration histogram (adopted cells'
-/// timings belong to the original run).
-fn record_cell_metrics(cell: &SweepCell) {
-    let name = match cell.outcome {
-        CellOutcome::Evaluated(_) => "sweep.cells.evaluated",
-        CellOutcome::Empty => "sweep.cells.empty",
-        CellOutcome::Failed { .. } => "sweep.cells.failed",
-        CellOutcome::TimedOut { .. } => "sweep.cells.timeout",
-    };
-    obs::counter(name).inc();
-    if cell.attempts > 1 && cell.outcome.record().is_some() {
-        obs::counter("sweep.cells.retried").inc();
-    }
-    if cell.resumed {
-        obs::counter("sweep.cells.resumed").inc();
-    } else {
-        obs::histogram("sweep.cell_ms", &obs::DURATION_MS_BOUNDS).observe(cell.elapsed_ms as f64);
-    }
-}
-
-/// The seed a given attempt runs with: attempt 1 uses the configured
-/// seed unchanged (so resilient runs reproduce the original sweep),
-/// retries derive fresh-but-deterministic seeds.
-fn attempt_seed(seed: u64, attempt: u32) -> u64 {
-    if attempt <= 1 {
-        seed
-    } else {
-        splitmix(seed ^ (attempt as u64) << 32)
-    }
-}
-
-fn run_cell_resilient(
-    ctx: &ForecastContext,
-    config: &SweepConfig,
-    model: ModelSpec,
-    t: usize,
-    h: usize,
-    w: usize,
-) -> SweepCell {
-    let _span = obs::span!("sweep.cell");
-    let started = Instant::now();
-    let max_attempts = config.resilience.max_attempts.max(1);
-    let mut attempts = 0u32;
-    loop {
-        attempts += 1;
-        let cancel = config
-            .resilience
-            .cell_deadline_ms
-            .map(|ms| CancelToken::with_deadline(Duration::from_millis(ms)));
-        let attempt = catch_unwind(AssertUnwindSafe(|| {
-            run_cell_once(ctx, config, model, t, h, w, attempts, cancel.as_ref())
-        }));
-        let elapsed_ms = started.elapsed().as_millis() as u64;
-        match attempt {
-            Ok(record) => {
-                let outcome = if cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
-                    obs::warn!(
-                        "cell {} t={t} h={h} w={w} timed out after {elapsed_ms} ms",
-                        model.name()
-                    );
-                    CellOutcome::TimedOut { elapsed_ms, attempts }
-                } else {
-                    match record {
-                        Some(r) => CellOutcome::Evaluated(r),
-                        None => CellOutcome::Empty,
-                    }
-                };
-                return SweepCell { model, t, h, w, outcome, elapsed_ms, attempts, resumed: false };
-            }
-            Err(payload) => {
-                if attempts >= max_attempts {
-                    let error = panic_message(payload);
-                    obs::warn!(
-                        "cell {} t={t} h={h} w={w} failed after {attempts} attempts: {error}",
-                        model.name()
-                    );
-                    let outcome = CellOutcome::Failed { error, elapsed_ms, attempts };
-                    return SweepCell {
-                        model,
-                        t,
-                        h,
-                        w,
-                        outcome,
-                        elapsed_ms,
-                        attempts,
-                        resumed: false,
-                    };
-                }
-            }
-        }
-    }
-}
-
-#[allow(clippy::too_many_arguments)] // a cell is its full coordinate tuple
-fn run_cell_once(
-    ctx: &ForecastContext,
-    config: &SweepConfig,
-    model: ModelSpec,
-    t: usize,
-    h: usize,
-    w: usize,
-    attempt: u32,
-    cancel: Option<&CancelToken>,
-) -> Option<EvalRecord> {
-    if let Some(plan) = &config.resilience.faults {
-        plan.apply(model, t, h, w, attempt);
-    }
-    let spec = WindowSpec::new(t, h, w);
-    if !spec.fits(ctx.n_days()) {
-        return None;
-    }
-    let seed = attempt_seed(config.seed, attempt);
-    let predictions = if model.is_classifier() {
-        let mut cc = model
-            .classifier_config(config.n_trees, config.train_days, seed, config.split)
-            .expect("classifier");
-        cc.forest_threads = Some(1); // the sweep already parallelises
-        cc.cancel = cancel.cloned();
-        fit_and_forecast(ctx, &spec, &cc).map(|f| f.predictions)
-    } else {
-        model.forecast(ctx, &spec, config.n_trees, config.train_days, seed, config.split)
-    };
-    if cancel.is_some_and(|c| c.is_cancelled()) {
-        // The deadline fired mid-fit; whatever came back is a partial
-        // ensemble's opinion, so the caller records a timeout instead.
-        return None;
-    }
-    predictions.and_then(|p| evaluate_day(ctx, &spec, &p, config.random_repeats, seed))
-}
-
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
+    Ok(SweepResult::from_cells(executor.execute(&plan)?))
 }
 
 #[cfg(test)]

@@ -45,7 +45,10 @@ pub use logger::{
     clear_log_sink, emit_json_event, enabled, init_from_env, level, log, set_level, set_log_sink,
     unix_ms, Level,
 };
-pub use manifest::{fnv1a, git_describe, iso_utc, RunManifest, MANIFEST_SCHEMA, MANIFEST_VERSION};
+pub use manifest::{
+    compare_manifests, fnv1a, git_describe, iso_utc, ManifestComparison, RunManifest,
+    ShardIdentity, MANIFEST_SCHEMA, MANIFEST_VERSION,
+};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Obs, SpanStat};
 pub use span::SpanGuard;
 

@@ -11,8 +11,26 @@ use std::path::Path;
 
 /// Schema tag in every manifest.
 pub const MANIFEST_SCHEMA: &str = "hotspot-run-manifest";
-/// Current schema version.
-pub const MANIFEST_VERSION: u64 = 1;
+/// Current schema version. v2 adds the optional shard identity; v1
+/// manifests (no `shard` field) still parse.
+pub const MANIFEST_VERSION: u64 = 2;
+
+/// Which shard of a partitioned run a manifest describes. A run that
+/// was not sharded carries no identity (serialised as an absent
+/// `shard` field, which is also how v1 manifests parse).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardIdentity {
+    /// Zero-based shard index.
+    pub index: u64,
+    /// Total shard count of the run.
+    pub count: u64,
+}
+
+impl std::fmt::Display for ShardIdentity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
 
 /// Everything recorded about one run.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +55,9 @@ pub struct RunManifest {
     pub duration_ms: u64,
     /// `"ok"` or `"panicked"`.
     pub outcome: String,
+    /// Shard identity when this manifest describes one worker of a
+    /// partitioned sweep; `None` for unsharded runs.
+    pub shard: Option<ShardIdentity>,
     /// Final metrics snapshot.
     pub metrics: MetricsSnapshot,
 }
@@ -45,7 +66,7 @@ impl RunManifest {
     /// Render as a JSON object (includes derived human-readable
     /// timestamps that `from_json` ignores).
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
             ("schema", Json::Str(MANIFEST_SCHEMA.into())),
             ("version", Json::Num(MANIFEST_VERSION as f64)),
             ("experiment", Json::Str(self.experiment.clone())),
@@ -59,8 +80,18 @@ impl RunManifest {
             ("finished_iso", Json::Str(iso_utc(self.finished_unix_ms))),
             ("duration_ms", Json::Num(self.duration_ms as f64)),
             ("outcome", Json::Str(self.outcome.clone())),
-            ("metrics", self.metrics.to_json()),
-        ])
+        ];
+        if let Some(shard) = self.shard {
+            fields.push((
+                "shard",
+                Json::obj(vec![
+                    ("index", Json::Num(shard.index as f64)),
+                    ("count", Json::Num(shard.count as f64)),
+                ]),
+            ));
+        }
+        fields.push(("metrics", self.metrics.to_json()));
+        Json::obj(fields)
     }
 
     /// Parse a manifest previously rendered by [`Self::to_json`].
@@ -94,6 +125,17 @@ impl RunManifest {
         let metrics = MetricsSnapshot::from_json(
             json.get("metrics").ok_or("manifest missing \"metrics\"")?,
         )?;
+        let shard = match json.get("shard") {
+            None => None,
+            Some(s) => {
+                let part = |key: &str| -> Result<u64, String> {
+                    s.get(key)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("manifest shard missing integer field {key:?}"))
+                };
+                Some(ShardIdentity { index: part("index")?, count: part("count")? })
+            }
+        };
         Ok(RunManifest {
             experiment: str_field("experiment")?,
             config_fingerprint: str_field("config_fingerprint")?,
@@ -104,6 +146,7 @@ impl RunManifest {
             finished_unix_ms: u64_field("finished_unix_ms")?,
             duration_ms: u64_field("duration_ms")?,
             outcome: str_field("outcome")?,
+            shard,
             metrics,
         })
     }
@@ -124,6 +167,112 @@ impl RunManifest {
     pub fn read(path: &Path) -> Result<RunManifest, String> {
         let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
         Self::from_json(&Json::parse(&text)?)
+    }
+}
+
+/// The result of lining two run manifests up against each other:
+/// whether they describe the same configuration, and where their
+/// deterministic metrics diverge. Built by [`compare_manifests`]; used
+/// by `manifest_check --compare` and by shard-merge validation (a
+/// merge refuses shards whose fingerprints disagree, quoting this
+/// report as the diagnostic).
+#[derive(Debug, Clone)]
+pub struct ManifestComparison {
+    /// `(experiment, config_fingerprint, shard)` of side A.
+    pub a: (String, String, Option<ShardIdentity>),
+    /// Same for side B.
+    pub b: (String, String, Option<ShardIdentity>),
+    /// Counters whose values differ (or exist on one side only):
+    /// `(name, value_a, value_b)`.
+    pub counter_deltas: Vec<(String, Option<u64>, Option<u64>)>,
+    /// Gauges whose values differ: `(name, value_a, value_b)`.
+    pub gauge_deltas: Vec<(String, Option<f64>, Option<f64>)>,
+    /// Wall-clock durations of the two runs.
+    pub duration_ms: (u64, u64),
+}
+
+impl ManifestComparison {
+    /// Whether both manifests carry the same config fingerprint — the
+    /// precondition for any further "same experiment?" reasoning.
+    pub fn fingerprints_match(&self) -> bool {
+        self.a.1 == self.b.1
+    }
+
+    /// Whether the deterministic metric domains (counters and gauges)
+    /// agree exactly.
+    pub fn metrics_match(&self) -> bool {
+        self.counter_deltas.is_empty() && self.gauge_deltas.is_empty()
+    }
+
+    /// Multi-line human-readable report.
+    pub fn render(&self) -> String {
+        let shard = |s: &Option<ShardIdentity>| match s {
+            Some(id) => format!(" shard {id}"),
+            None => String::new(),
+        };
+        let mut out = format!(
+            "A: {} fingerprint {}{}\nB: {} fingerprint {}{}\n",
+            self.a.0,
+            self.a.1,
+            shard(&self.a.2),
+            self.b.0,
+            self.b.1,
+            shard(&self.b.2),
+        );
+        if !self.fingerprints_match() {
+            out.push_str("config fingerprints DIFFER — these are different experiments\n");
+            return out;
+        }
+        out.push_str("config fingerprints match\n");
+        let fmt_u = |v: &Option<u64>| v.map_or("-".to_string(), |x| x.to_string());
+        let fmt_f = |v: &Option<f64>| v.map_or("-".to_string(), |x| format!("{x:?}"));
+        for (name, a, b) in &self.counter_deltas {
+            out.push_str(&format!("counter {name}: {} vs {}\n", fmt_u(a), fmt_u(b)));
+        }
+        for (name, a, b) in &self.gauge_deltas {
+            out.push_str(&format!("gauge {name}: {} vs {}\n", fmt_f(a), fmt_f(b)));
+        }
+        if self.metrics_match() {
+            out.push_str("deterministic metrics (counters, gauges) identical\n");
+        }
+        out.push_str(&format!(
+            "duration: {} ms vs {} ms\n",
+            self.duration_ms.0, self.duration_ms.1
+        ));
+        out
+    }
+}
+
+/// Line two manifests up: fingerprint identity plus deltas over the
+/// deterministic metric domains (counters and gauges — histograms and
+/// spans carry wall-clock and are expected to differ between runs).
+pub fn compare_manifests(a: &RunManifest, b: &RunManifest) -> ManifestComparison {
+    let mut counter_deltas = Vec::new();
+    let names: std::collections::BTreeSet<&String> =
+        a.metrics.counters.keys().chain(b.metrics.counters.keys()).collect();
+    for name in names {
+        let va = a.metrics.counters.get(name).copied();
+        let vb = b.metrics.counters.get(name).copied();
+        if va != vb {
+            counter_deltas.push((name.clone(), va, vb));
+        }
+    }
+    let mut gauge_deltas = Vec::new();
+    let names: std::collections::BTreeSet<&String> =
+        a.metrics.gauges.keys().chain(b.metrics.gauges.keys()).collect();
+    for name in names {
+        let va = a.metrics.gauges.get(name).copied();
+        let vb = b.metrics.gauges.get(name).copied();
+        if va != vb {
+            gauge_deltas.push((name.clone(), va, vb));
+        }
+    }
+    ManifestComparison {
+        a: (a.experiment.clone(), a.config_fingerprint.clone(), a.shard),
+        b: (b.experiment.clone(), b.config_fingerprint.clone(), b.shard),
+        counter_deltas,
+        gauge_deltas,
+        duration_ms: (a.duration_ms, b.duration_ms),
     }
 }
 
@@ -198,6 +347,7 @@ mod tests {
             finished_unix_ms: 1_754_500_012_345,
             duration_ms: 12_345,
             outcome: "ok".into(),
+            shard: None,
             metrics: obs.snapshot(),
         }
     }
@@ -237,6 +387,46 @@ mod tests {
         }
         let err = RunManifest::from_json(&json).unwrap_err();
         assert!(err.contains("seed"), "{err}");
+    }
+
+    #[test]
+    fn shard_identity_round_trips_and_absence_means_unsharded() {
+        let mut manifest = sample_manifest();
+        manifest.shard = Some(ShardIdentity { index: 2, count: 3 });
+        let parsed = RunManifest::from_json(&manifest.to_json()).unwrap();
+        assert_eq!(parsed, manifest);
+        assert_eq!(parsed.shard.unwrap().to_string(), "2/3");
+        // A v1-era manifest (no shard field) parses as unsharded.
+        let unsharded = sample_manifest();
+        assert!(unsharded.to_json().get("shard").is_none());
+        assert_eq!(RunManifest::from_json(&unsharded.to_json()).unwrap().shard, None);
+    }
+
+    #[test]
+    fn comparison_flags_fingerprint_and_metric_divergence() {
+        let a = sample_manifest();
+        let same = compare_manifests(&a, &a);
+        assert!(same.fingerprints_match() && same.metrics_match());
+        assert!(same.render().contains("fingerprints match"), "{}", same.render());
+
+        let mut b = a.clone();
+        b.config_fingerprint = "deadbeefdeadbeef".into();
+        let diff = compare_manifests(&a, &b);
+        assert!(!diff.fingerprints_match());
+        assert!(diff.render().contains("DIFFER"), "{}", diff.render());
+
+        let mut c = a.clone();
+        c.metrics.counters.insert("sweep.cells.evaluated".into(), 41);
+        c.metrics.gauges.insert("imputer.reconstruction_error".into(), 0.125);
+        let metric_diff = compare_manifests(&a, &c);
+        assert!(metric_diff.fingerprints_match());
+        assert!(!metric_diff.metrics_match());
+        assert_eq!(
+            metric_diff.counter_deltas,
+            vec![("sweep.cells.evaluated".to_string(), Some(42), Some(41))]
+        );
+        assert_eq!(metric_diff.gauge_deltas.len(), 1);
+        assert!(metric_diff.render().contains("42 vs 41"), "{}", metric_diff.render());
     }
 
     #[test]

@@ -187,6 +187,77 @@ impl MetricsSnapshot {
             && self.annotations.is_empty()
     }
 
+    /// Merge another snapshot into this one — the collector side of a
+    /// sharded (multi-process) run, where each worker leaves its own
+    /// snapshot sidecar and the merge must behave as if one process had
+    /// recorded everything.
+    ///
+    /// Semantics per metric family:
+    /// * **counters** — summed (each shard's increments are disjoint work);
+    /// * **gauges** — last write wins, in merge order (shards of one run
+    ///   record identical values for deterministic gauges, so order only
+    ///   matters for gauges that were never deterministic to begin with);
+    /// * **histograms** — per-bucket counts, total count, and sum are
+    ///   added; the bucket bounds must agree exactly, since bounds are
+    ///   part of the metric's identity;
+    /// * **spans** — counts and totals are added, `min`/`max` combined;
+    /// * **annotations** — last write wins, in merge order.
+    ///
+    /// # Errors
+    /// A message naming the histogram whose bucket bounds disagree.
+    pub fn merge(&mut self, other: &MetricsSnapshot) -> Result<(), String> {
+        for (name, h) in &other.histograms {
+            if let Some(mine) = self.histograms.get(name) {
+                if mine.bounds != h.bounds {
+                    return Err(format!(
+                        "histogram {name:?}: bucket bounds disagree across shards \
+                         ({:?} vs {:?})",
+                        mine.bounds, h.bounds
+                    ));
+                }
+            }
+        }
+        for (name, &v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, &v) in &other.gauges {
+            self.gauges.insert(name.clone(), v);
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(mine) => {
+                    for (c, &o) in mine.counts.iter_mut().zip(&h.counts) {
+                        *c += o;
+                    }
+                    mine.count += h.count;
+                    mine.sum += h.sum;
+                }
+                None => {
+                    self.histograms.insert(name.clone(), h.clone());
+                }
+            }
+        }
+        for (name, s) in &other.spans {
+            match self.spans.get_mut(name) {
+                Some(mine) => {
+                    let was_empty = mine.count == 0;
+                    mine.count += s.count;
+                    mine.total_ns += s.total_ns;
+                    mine.max_ns = mine.max_ns.max(s.max_ns);
+                    mine.min_ns =
+                        if was_empty { s.min_ns } else { mine.min_ns.min(s.min_ns) };
+                }
+                None => {
+                    self.spans.insert(name.clone(), s.clone());
+                }
+            }
+        }
+        for (name, v) in &other.annotations {
+            self.annotations.insert(name.clone(), v.clone());
+        }
+        Ok(())
+    }
+
     /// Render as a JSON object.
     pub fn to_json(&self) -> Json {
         let counters =
@@ -520,6 +591,73 @@ mod tests {
         let snap = obs.snapshot();
         let parsed = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
         assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn merge_combines_every_metric_family() {
+        let a = Obs::new();
+        a.counter("cells").add(3);
+        a.gauge("err").set(0.5);
+        a.histogram("ms", &[1.0, 10.0]).observe(0.5);
+        a.record_span("cell", 100);
+        a.set_annotation("who", "shard-0");
+        let b = Obs::new();
+        b.counter("cells").add(4);
+        b.counter("only_b").add(1);
+        b.gauge("err").set(0.5);
+        b.histogram("ms", &[1.0, 10.0]).observe(5.0);
+        b.histogram("only_b_ms", &[1.0]).observe(0.1);
+        b.record_span("cell", 40);
+        b.record_span("only_b", 7);
+        b.set_annotation("who", "shard-1");
+
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot()).unwrap();
+        assert_eq!(merged.counters["cells"], 7);
+        assert_eq!(merged.counters["only_b"], 1);
+        assert_eq!(merged.gauges["err"], 0.5);
+        let h = &merged.histograms["ms"];
+        assert_eq!(h.count, 2);
+        assert_eq!(h.counts, vec![1, 1, 0]);
+        assert_eq!(h.sum, 5.5);
+        assert_eq!(merged.histograms["only_b_ms"].count, 1);
+        let s = &merged.spans["cell"];
+        assert_eq!((s.count, s.total_ns, s.min_ns, s.max_ns), (2, 140, 40, 100));
+        assert_eq!(merged.spans["only_b"].count, 1);
+        assert_eq!(merged.annotations["who"], "shard-1", "last write wins");
+    }
+
+    #[test]
+    fn merge_order_does_not_change_sums() {
+        let mk = |cells: u64, ns: u64| {
+            let o = Obs::new();
+            o.counter("cells").add(cells);
+            o.record_span("cell", ns);
+            o.snapshot()
+        };
+        let shards = [mk(1, 10), mk(2, 20), mk(3, 30)];
+        let mut fwd = MetricsSnapshot::default();
+        let mut rev = MetricsSnapshot::default();
+        for s in &shards {
+            fwd.merge(s).unwrap();
+        }
+        for s in shards.iter().rev() {
+            rev.merge(s).unwrap();
+        }
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn merge_refuses_mismatched_histogram_bounds() {
+        let a = Obs::new();
+        a.histogram("ms", &[1.0, 10.0]).observe(2.0);
+        let b = Obs::new();
+        b.histogram("ms", &[1.0, 100.0]).observe(2.0);
+        let mut merged = a.snapshot();
+        let err = merged.merge(&b.snapshot()).unwrap_err();
+        assert!(err.contains("ms") && err.contains("bounds"), "{err}");
+        // A failed merge must not half-apply: counters untouched.
+        assert_eq!(merged, a.snapshot());
     }
 
     #[test]

@@ -21,8 +21,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo '>>> observability smoke'
 scripts/obs_smoke.sh
 
-echo '>>> perf baseline (deterministic split-evaluation counts)'
+echo '>>> perf baseline (deterministic pinned counters)'
 scripts/perf_baseline.sh
+
+echo '>>> sweep shard smoke (3-shard merge byte identity)'
+scripts/sweep_shard_smoke.sh
 
 if [[ "${1:-}" == "--full" ]]; then
   echo '>>> full workspace tests'

@@ -6,10 +6,12 @@
 #   scripts/perf_baseline.sh --record   # re-pin the baseline (after a
 #                                       # deliberate behaviour change)
 #
-# The check re-fits the exact and histogram forests at the bench shape
-# and hard-fails if the deterministic `trees.split_evaluations` counts
-# drift from the recorded baseline; wall-clock drift beyond the
-# tolerance band is flagged as a warning only.
+# The check re-measures the four pinned stages — exact and histogram
+# forest fits, the `sweep.cell` span aggregate of a reduced sweep, and
+# the `imputer.fit` span aggregate of an autoencoder training — and
+# hard-fails if any stage's deterministic pinned counter drifts from
+# the recorded baseline; wall-clock drift beyond the tolerance band is
+# flagged as a warning only.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

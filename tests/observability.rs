@@ -105,6 +105,7 @@ fn sweep_metrics_agree_with_health_and_manifest_round_trips() {
         finished_unix_ms: obs::unix_ms(),
         duration_ms: 1234,
         outcome: "ok".into(),
+        shard: None,
         metrics: snap2.clone(),
     };
     let path = dir.join("run.manifest.json");

@@ -258,7 +258,9 @@ proptest! {
 
         let cfg = SweepConfig {
             models: vec![ModelSpec::Average],
-            ts: vec![20],
+            // Covers every journaled cell: entries outside the plan's
+            // grid are refused on load (shard-membership validation).
+            ts: vec![20, 21, 22, 23, 24],
             hs: vec![1],
             ws: vec![3],
             n_trees: 4,
