@@ -31,6 +31,7 @@ fn main() {
         n_threads: None,
         resilience: Default::default(),
         split: opts.split_strategy(),
+        feature_cache: opts.feature_cache_config(),
     };
     let result = run_sweep(&ctx, &config);
     print_section("mean lift by representation");

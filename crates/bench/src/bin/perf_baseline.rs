@@ -1,16 +1,21 @@
 //! Per-stage performance baseline for the pipeline's hot stages
 //! (ROADMAP: "per-stage performance baselines").
 //!
-//! Four stages, each pinning one deterministic counter next to its
+//! Five stages, each pinning one deterministic counter next to its
 //! wall-clock measurement:
 //!
 //! * `forest_fit_exact` / `forest_fit_hist` — fit the same forest with
 //!   exact and histogram split finding at the sweep's working shape
 //!   (5000 rows × 63 features); pins `trees.split_evaluations`.
-//! * `sweep_cell` — run a reduced in-process sweep over a synthetic
-//!   context and report the `sweep.cell` span aggregate (total
-//!   milliseconds across all cells); pins `trees.split_evaluations`
-//!   summed over the grid.
+//! * `sweep_cell_uncached` / `sweep_cell_cached` — run the same
+//!   reduced in-process sweep with the feature-plane cache off and on,
+//!   reporting each run's `sweep.cell` span aggregate (total
+//!   milliseconds across all cells). The uncached run pins
+//!   `trees.split_evaluations` summed over the grid; the cached run
+//!   pins `features.cache.build` (the number of distinct planes
+//!   built). Their canonical TSVs are asserted byte-identical, and a
+//!   replay gate proves build-at-most-once: a second identical sweep
+//!   against the same cache must add zero builds.
 //! * `imputer_fit` — train the autoencoder imputer on a gapped
 //!   synthetic tensor and report the `imputer.fit` span aggregate;
 //!   pins `imputer.cells_imputed`.
@@ -32,12 +37,17 @@ use hotspot_core::kpi::KpiCatalog;
 use hotspot_core::pipeline::ScorePipeline;
 use hotspot_core::tensor::Tensor3;
 use hotspot_core::HOURS_PER_WEEK;
+use hotspot_features::PlaneCache;
 use hotspot_forecast::context::{ForecastContext, Target};
 use hotspot_forecast::models::ModelSpec;
-use hotspot_forecast::sweep::{run_sweep, ResiliencePolicy, SweepConfig};
+use hotspot_forecast::sweep::{
+    canonical_tsv, run_sweep, FeatureCacheConfig, InProcessExecutor, ResiliencePolicy, ShardSpec,
+    SweepConfig, SweepExecutor, SweepPlan,
+};
 use hotspot_nn::imputer::{AutoencoderImputer, Imputer, ImputerConfig};
 use hotspot_obs as obs;
 use hotspot_trees::{Dataset, RandomForest, RandomForestParams, SplitStrategy};
+use std::sync::Arc;
 use std::time::Instant;
 
 const N_ROWS: usize = 5000;
@@ -144,34 +154,106 @@ fn sweep_context() -> ForecastContext {
     ForecastContext::build(&kpis, &scored, Target::BeHotSpot).expect("consistent dimensions")
 }
 
-/// Run a reduced sweep and report the `sweep.cell` span aggregate,
-/// pinning the split evaluations summed over the whole grid.
-fn sweep_stage(ctx: &ForecastContext) -> Stage {
-    let config = SweepConfig {
+/// The cached and uncached sweep stages share this one science
+/// configuration; only the byte-transparent `feature_cache` knob
+/// differs. Overlapping horizons at a common window and shallow
+/// forests keep featurisation a visible share of each cell, so the
+/// cache's wall-clock win is measurable rather than lost in tree
+/// fitting.
+fn sweep_pair_config(cache: bool) -> SweepConfig {
+    SweepConfig {
         models: vec![ModelSpec::RfF1],
-        ts: vec![20, 24],
-        hs: vec![1, 3],
-        ws: vec![3],
-        n_trees: 8,
-        train_days: 4,
+        ts: vec![24, 26, 28, 30],
+        hs: vec![1, 2, 3],
+        ws: vec![7],
+        n_trees: 2,
+        train_days: 6,
         random_repeats: 10,
         seed: 3,
         n_threads: Some(2),
         resilience: ResiliencePolicy::default(),
         split: SplitStrategy::default(),
-    };
+        feature_cache: if cache {
+            FeatureCacheConfig::default()
+        } else {
+            FeatureCacheConfig::off()
+        },
+    }
+}
+
+/// Counter delta between two registry snapshots.
+fn counter_delta(name: &str, before: &obs::MetricsSnapshot, after: &obs::MetricsSnapshot) -> u64 {
+    after.counters.get(name).copied().unwrap_or(0)
+        - before.counters.get(name).copied().unwrap_or(0)
+}
+
+/// Run one reduced sweep with the cache on or off, returning the
+/// `sweep.cell` span aggregate as the stage time and the run's
+/// canonical TSV for the parity assertion.
+fn sweep_stage(ctx: &ForecastContext, cache: bool) -> (Stage, String) {
+    let config = sweep_pair_config(cache);
+    let plan = SweepPlan::new(&config);
     let before = obs::global().snapshot();
     let result = run_sweep(ctx, &config);
     let after = obs::global().snapshot();
     assert!(result.health.is_clean(), "sweep stage must be clean: {}", result.health.summary());
-    let evals = after.counters.get("trees.split_evaluations").copied().unwrap_or(0)
-        - before.counters.get("trees.split_evaluations").copied().unwrap_or(0);
-    Stage {
-        name: "sweep_cell",
-        millis: span_delta_ms("sweep.cell", &before, &after),
-        pinned_metric: "trees.split_evaluations",
-        pinned: evals,
-    }
+    let tsv = canonical_tsv(&plan, &result).expect("complete sweep renders");
+    let stage = if cache {
+        assert_eq!(
+            counter_delta("features.cache.evict", &before, &after),
+            0,
+            "the default budget must hold this grid without evicting"
+        );
+        let builds = counter_delta("features.cache.build", &before, &after);
+        assert!(builds > 0, "the cached sweep must exercise the plane cache");
+        Stage {
+            name: "sweep_cell_cached",
+            millis: span_delta_ms("sweep.cell", &before, &after),
+            pinned_metric: "features.cache.build",
+            pinned: builds,
+        }
+    } else {
+        Stage {
+            name: "sweep_cell_uncached",
+            millis: span_delta_ms("sweep.cell", &before, &after),
+            pinned_metric: "trees.split_evaluations",
+            pinned: counter_delta("trees.split_evaluations", &before, &after),
+        }
+    };
+    (stage, tsv)
+}
+
+/// Hard gate for build-at-most-once: with an injected ample-budget
+/// cache, a second identical sweep must add zero builds — every plane
+/// the grid needs was built exactly once and is served from cache
+/// thereafter.
+fn replay_gate(ctx: &ForecastContext) {
+    let config = sweep_pair_config(true);
+    let plan = SweepPlan::new(&config);
+    let cache = Arc::new(PlaneCache::new(1 << 30));
+    let run = || {
+        InProcessExecutor {
+            ctx,
+            config: &config,
+            shard: ShardSpec { index: 0, count: 1 },
+            checkpoint: None,
+            plane_cache: Some(Arc::clone(&cache)),
+        }
+        .execute(&plan)
+        .expect("in-memory sweep cannot fail")
+    };
+    run();
+    let first = cache.stats();
+    assert!(first.builds > 0, "the sweep must request planes");
+    assert!(first.builds <= first.misses, "a build only happens on a miss");
+    assert_eq!(first.evictions, 0, "an ample budget must never evict");
+    run();
+    let second = cache.stats();
+    assert_eq!(
+        second.builds, first.builds,
+        "replaying the sweep must add zero builds (build-at-most-once violated)"
+    );
+    assert!(second.hits > first.hits, "the replay must be served from cache");
 }
 
 /// Train the autoencoder imputer on a gapped synthetic tensor and
@@ -208,7 +290,13 @@ fn imputer_stage() -> Stage {
     }
 }
 
-fn measure() -> (Vec<Stage>, f64) {
+/// The two ratios the baseline file records next to the stages.
+struct Speedups {
+    exact_over_hist: f64,
+    sweep_cached: f64,
+}
+
+fn measure() -> (Vec<Stage>, Speedups) {
     // Span recording is off by default; the two span-aggregate stages
     // need it.
     obs::set_spans_enabled(true);
@@ -248,14 +336,34 @@ fn measure() -> (Vec<Stage>, f64) {
     );
 
     let ctx = sweep_context();
-    let sweep = best_of(3, || sweep_stage(&ctx));
+    let mut uncached_tsv = String::new();
+    let uncached = best_of(3, || {
+        let (stage, tsv) = sweep_stage(&ctx, false);
+        uncached_tsv = tsv;
+        stage
+    });
+    let mut cached_tsv = String::new();
+    let cached = best_of(3, || {
+        let (stage, tsv) = sweep_stage(&ctx, true);
+        cached_tsv = tsv;
+        stage
+    });
+    assert_eq!(
+        uncached_tsv, cached_tsv,
+        "cached sweep must be byte-identical to the uncached sweep"
+    );
+    replay_gate(&ctx);
+
     let imputer = best_of(3, imputer_stage);
 
-    let speedup = exact.millis / hist.millis;
-    (vec![exact, hist, sweep, imputer], speedup)
+    let speedups = Speedups {
+        exact_over_hist: exact.millis / hist.millis,
+        sweep_cached: uncached.millis / cached.millis,
+    };
+    (vec![exact, hist, uncached, cached, imputer], speedups)
 }
 
-fn to_json(stages: &[Stage], speedup: f64) -> obs::Json {
+fn to_json(stages: &[Stage], speedups: &Speedups) -> obs::Json {
     let entries: Vec<obs::Json> = stages
         .iter()
         .map(|s| {
@@ -270,12 +378,13 @@ fn to_json(stages: &[Stage], speedup: f64) -> obs::Json {
     obs::Json::obj(vec![
         ("bench", obs::Json::Str(format!("forest{N_TREES}_fit_{N_ROWS}x{N_FEATURES}"))),
         ("recorded_unix_ms", obs::Json::Num(obs::unix_ms() as f64)),
-        ("speedup_exact_over_hist", obs::Json::Num(speedup)),
+        ("speedup_exact_over_hist", obs::Json::Num(speedups.exact_over_hist)),
+        ("speedup_sweep_cached", obs::Json::Num(speedups.sweep_cached)),
         ("stages", obs::Json::Arr(entries)),
     ])
 }
 
-fn check(path: &std::path::Path, stages: &[Stage], speedup: f64) -> i32 {
+fn check(path: &std::path::Path, stages: &[Stage], speedups: &Speedups) -> i32 {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -317,10 +426,7 @@ fn check(path: &std::path::Path, stages: &[Stage], speedup: f64) -> i32 {
             );
         }
     }
-    println!("speedup exact/hist: {speedup:.2}x");
-    if speedup < 1.0 {
-        eprintln!("WARN histogram slower than exact on this machine ({speedup:.2}x)");
-    }
+    print_speedups(speedups);
     if failures > 0 {
         eprintln!("perf baseline check FAILED ({failures} hard failures)");
         1
@@ -352,16 +458,33 @@ fn main() {
         std::process::exit(2);
     }
 
-    let (stages, speedup) = measure();
+    let (stages, speedups) = measure();
     if record {
-        let json = to_json(&stages, speedup);
+        let json = to_json(&stages, &speedups);
         std::fs::write(&path, json.render() + "\n").expect("write baseline");
         for s in &stages {
             println!("{}: {:.1} ms, {} = {}", s.name, s.millis, s.pinned_metric, s.pinned);
         }
-        println!("speedup exact/hist: {speedup:.2}x");
+        print_speedups(&speedups);
         println!("baseline recorded to {}", path.display());
     } else {
-        std::process::exit(check(&path, &stages, speedup));
+        std::process::exit(check(&path, &stages, &speedups));
+    }
+}
+
+fn print_speedups(speedups: &Speedups) {
+    println!("speedup exact/hist: {:.2}x", speedups.exact_over_hist);
+    println!("speedup sweep cached/uncached: {:.2}x", speedups.sweep_cached);
+    if speedups.exact_over_hist < 1.0 {
+        eprintln!(
+            "WARN histogram slower than exact on this machine ({:.2}x)",
+            speedups.exact_over_hist
+        );
+    }
+    if speedups.sweep_cached < 1.0 {
+        eprintln!(
+            "WARN cached sweep slower than uncached on this machine ({:.2}x)",
+            speedups.sweep_cached
+        );
     }
 }

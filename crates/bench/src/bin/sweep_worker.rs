@@ -58,6 +58,7 @@ fn sweep_config(opts: &RunOptions) -> SweepConfig {
         n_threads: None,
         resilience: resilience(opts),
         split: opts.split_strategy(),
+        feature_cache: opts.feature_cache_config(),
     }
 }
 

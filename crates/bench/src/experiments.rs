@@ -93,8 +93,13 @@ pub fn run_sweep_with_options(
             std::process::exit(2);
         }
         let plan = SweepPlan::new(config);
-        let executor =
-            InProcessExecutor { ctx, config, shard, checkpoint: Some(files.checkpoint) };
+        let executor = InProcessExecutor {
+            ctx,
+            config,
+            shard,
+            checkpoint: Some(files.checkpoint),
+            plane_cache: None,
+        };
         let cells = executor.execute(&plan).unwrap_or_else(|e| {
             obs::error!("sweep shard {shard} error: {e}");
             std::process::exit(2);
@@ -141,6 +146,7 @@ pub fn horizon_sweep(
         n_threads: None,
         resilience: resilience(opts),
         split: opts.split_strategy(),
+        feature_cache: opts.feature_cache_config(),
     };
     run_sweep_with_options(ctx, &config, opts)
 }
@@ -166,6 +172,7 @@ pub fn window_sweep(
         n_threads: None,
         resilience: resilience(opts),
         split: opts.split_strategy(),
+        feature_cache: opts.feature_cache_config(),
     };
     run_sweep_with_options(ctx, &config, opts)
 }

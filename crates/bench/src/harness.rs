@@ -40,9 +40,17 @@ impl Experiment {
                 std::process::exit(2);
             }
         }
+        if let Some(path) = &opts.trace_out {
+            if let Err(e) = obs::set_trace_sink(path) {
+                obs::error!("cannot open --trace-out {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
         // Span recording costs a clock read per scope; pay it only
         // when the run is producing an artifact that reports timings.
-        obs::set_spans_enabled(opts.manifest.is_some() || opts.metrics_out.is_some());
+        obs::set_spans_enabled(
+            opts.manifest.is_some() || opts.metrics_out.is_some() || opts.trace_out.is_some(),
+        );
 
         let fingerprint = format!("{:016x}", obs::fnv1a(identity(name, opts).as_bytes()));
         let shard =
@@ -101,6 +109,7 @@ fn identity(name: &str, opts: &RunOptions) -> String {
 
 impl Drop for Experiment {
     fn drop(&mut self) {
+        obs::clear_trace_sink();
         let outcome = if std::thread::panicking() { "panicked" } else { "ok" };
         let duration_ms = self.started.elapsed().as_millis() as u64;
         let metrics = obs::global().snapshot();
@@ -183,5 +192,14 @@ mod tests {
         let merging = RunOptions { shards: 3, merge: true, ..base.clone() };
         assert_eq!(fp("fig09", &base), fp("fig09", &sharded), "shard workers match");
         assert_eq!(fp("fig09", &base), fp("fig09", &merging), "merge mode matches");
+
+        // The feature-plane cache is byte-transparent and the trace
+        // sink is pure output — neither may move the fingerprint.
+        let uncached = RunOptions { feature_cache: false, ..base.clone() };
+        let small_cache = RunOptions { feature_cache_mb: 1, ..base.clone() };
+        let traced = RunOptions { trace_out: Some("/tmp/run.trace.json".into()), ..base.clone() };
+        assert_eq!(fp("fig09", &base), fp("fig09", &uncached), "cache toggle is plumbing");
+        assert_eq!(fp("fig09", &base), fp("fig09", &small_cache), "cache budget is plumbing");
+        assert_eq!(fp("fig09", &base), fp("fig09", &traced), "trace sink is plumbing");
     }
 }

@@ -15,11 +15,18 @@
 //!   (RF-F1, the 5/25/50/75/95 daily percentiles), and
 //!   [`builders::HandCrafted`] (RF-F2, window statistics, day/week
 //!   average and extreme profiles, and the raw last day).
+//! * [`plane`] — the cross-cell [`plane::PlaneCache`]: a concurrent,
+//!   memory-bounded, read-only-after-build memo of whole-network
+//!   feature planes keyed by `(representation, end_day, w)`, so sweep
+//!   grids amortise featurisation instead of rebuilding the same
+//!   matrix per cell.
 
 pub mod builders;
+pub mod plane;
 pub mod tensor_x;
 pub mod windows;
 
 pub use builders::{DailyPercentiles, FeatureBuilder, HandCrafted, RawFlatten};
+pub use plane::{CacheStats, FeaturePlane, PlaneCache, PlaneKey};
 pub use tensor_x::{build_tensor_x, feat};
 pub use windows::{forecast_window_days, train_window_days, WindowSpec};

@@ -5,7 +5,6 @@
 //! needs).
 
 use crate::context::ForecastContext;
-use hotspot_core::integrate::trailing_mean;
 use hotspot_features::windows::WindowSpec;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -34,12 +33,15 @@ pub fn persist_forecast(ctx: &ForecastContext, spec: &WindowSpec) -> Vec<f64> {
 }
 
 /// Average model: `Ŷᵢ = μ(t, w, Sᵢ)` — trailing mean of the daily
-/// score over the window.
+/// score over the window, answered in O(1) per sector from the
+/// context's prefix-sum tables (`ctx.daily_prefix`) instead of an
+/// O(w) rescan per grid cell.
 pub fn average_forecast(ctx: &ForecastContext, spec: &WindowSpec) -> Vec<f64> {
+    let prefix = &ctx.daily_prefix;
+    let t = spec.t.min(prefix.n_days() - 1);
     (0..ctx.n_sectors())
         .map(|i| {
-            let row = ctx.s_daily.row(i);
-            let v = trailing_mean(row, spec.t.min(row.len() - 1), spec.w);
+            let v = prefix.trailing_mean(i, t, spec.w);
             if v.is_nan() {
                 0.0
             } else {
@@ -52,18 +54,20 @@ pub fn average_forecast(ctx: &ForecastContext, spec: &WindowSpec) -> Vec<f64> {
 /// Trend model: the Average plus a linear projection of the recent
 /// trend, `μ(t, w, S) + (μ(t, w/2, S) − μ(t − w/2, w/2, S)) / (w/2)`.
 /// For `w = 1` the half-window is empty, so it degrades to Average.
+/// Window means come from the same O(1) prefix tables as Average.
 pub fn trend_forecast(ctx: &ForecastContext, spec: &WindowSpec) -> Vec<f64> {
     let half = spec.w / 2;
     if half == 0 {
         return average_forecast(ctx, spec);
     }
+    let prefix = &ctx.daily_prefix;
+    let t = spec.t.min(prefix.n_days() - 1);
     (0..ctx.n_sectors())
         .map(|i| {
-            let row = ctx.s_daily.row(i);
-            let t = spec.t.min(row.len() - 1);
-            let avg = trailing_mean(row, t, spec.w);
-            let recent = trailing_mean(row, t, half);
-            let older = if t >= half { trailing_mean(row, t - half, half) } else { recent };
+            let avg = prefix.trailing_mean(i, t, spec.w);
+            let recent = prefix.trailing_mean(i, t, half);
+            let older =
+                if t >= half { prefix.trailing_mean(i, t - half, half) } else { recent };
             let v = avg + (recent - older) / half as f64;
             if v.is_nan() {
                 0.0
@@ -131,9 +135,10 @@ mod tests {
         let a = average_forecast(&c, &spec);
         assert!(a[2] > a[1], "always-hot above healthy");
         assert!(a[0] > a[1], "degrading above healthy");
-        // Matches a manual trailing mean for sector 1.
-        let manual = trailing_mean(c.s_daily.row(1), 20, 7);
-        assert_eq!(a[1], manual);
+        // Matches a manual sequential trailing mean for sector 1 (up
+        // to the ~1 ulp rounding difference of the prefix-sum path).
+        let manual = hotspot_core::integrate::trailing_mean(c.s_daily.row(1), 20, 7);
+        assert!((a[1] - manual).abs() <= 1e-12 * manual.abs().max(1.0));
     }
 
     #[test]

@@ -12,12 +12,14 @@
 
 use crate::context::ForecastContext;
 use hotspot_features::builders::{DailyPercentiles, FeatureBuilder, HandCrafted, RawFlatten};
-use hotspot_features::windows::{forecast_window_days, train_window_days, WindowSpec};
+use hotspot_features::plane::PlaneCache;
+use hotspot_features::windows::{train_window_days, WindowSpec};
 use hotspot_core::matrix::Matrix;
 use hotspot_trees::{
     CancelToken, Dataset, DecisionTree, GradientBoosting, GradientBoostingParams, RandomForest,
     RandomForestParams, SplitStrategy, TreeParams,
 };
+use std::sync::Arc;
 
 /// Boxed scoring closure mapping a feature row to a probability.
 type PredictFn = Box<dyn Fn(&[f64]) -> f64>;
@@ -45,12 +47,14 @@ pub enum Representation {
 }
 
 impl Representation {
-    /// The builder behind this representation.
-    pub fn builder(self) -> Box<dyn FeatureBuilder> {
+    /// The builder behind this representation. All builders are unit
+    /// structs, so this is a free `'static` borrow — call sites share
+    /// one instance instead of boxing a fresh one per call.
+    pub fn builder(self) -> &'static dyn FeatureBuilder {
         match self {
-            Representation::Raw => Box::new(RawFlatten),
-            Representation::Percentiles => Box::new(DailyPercentiles),
-            Representation::HandCrafted => Box::new(HandCrafted),
+            Representation::Raw => &RawFlatten,
+            Representation::Percentiles => &DailyPercentiles,
+            Representation::HandCrafted => &HandCrafted,
         }
     }
 }
@@ -80,6 +84,13 @@ pub struct ClassifierConfig {
     /// Split-search strategy for every tree-based estimator
     /// (histogram by default; exact for reference runs).
     pub split: SplitStrategy,
+    /// Shared feature-plane cache. When set, training assembly and
+    /// forecasting gather rows from cached `(representation, end_day,
+    /// w)` planes instead of re-featurising per sector; results are
+    /// byte-identical either way (a plane row *is* the builder's
+    /// output). Sweep executors install one cache per process;
+    /// standalone callers leave it `None`.
+    pub plane_cache: Option<Arc<PlaneCache>>,
 }
 
 impl ClassifierConfig {
@@ -94,6 +105,7 @@ impl ClassifierConfig {
             forest_threads: None,
             cancel: None,
             split: SplitStrategy::default(),
+            plane_cache: None,
         }
     }
 }
@@ -201,26 +213,36 @@ fn training_label_days(t: usize, h: usize, w: usize, train_days: usize) -> Vec<u
 fn assemble_training(
     ctx: &ForecastContext,
     spec: &WindowSpec,
-    representation: Representation,
-    train_days: usize,
+    config: &ClassifierConfig,
 ) -> Option<Dataset> {
-    let builder = representation.builder();
+    let builder = config.representation.builder();
     let f = ctx.x.n_features();
     let dim = builder.dim(f, spec.w);
     let mut rows: Vec<f64> = Vec::new();
     let mut labels: Vec<bool> = Vec::new();
-    for label_day in training_label_days(spec.t, spec.h, spec.w, train_days) {
+    for label_day in training_label_days(spec.t, spec.h, spec.w, config.train_days) {
         let sub = WindowSpec { t: label_day, h: spec.h, w: spec.w };
         let Some((start, end)) = train_window_days(&sub) else {
             continue;
         };
         debug_assert_eq!(end - start, spec.w);
+        // One whole-network plane per (representation, end, w); cells
+        // across the grid share it. NaN-labelled sectors are skipped
+        // below, but the full plane is what every other cell needs
+        // anyway, and a cached row is byte-identical to building it.
+        let plane = config
+            .plane_cache
+            .as_ref()
+            .map(|cache| cache.get_or_build(builder, &ctx.x, end, spec.w));
         for i in 0..ctx.n_sectors() {
             let y = ctx.target.get(i, label_day);
             if y.is_nan() {
                 continue;
             }
-            rows.extend(builder.build(&ctx.x, i, end, spec.w));
+            match &plane {
+                Some(p) => rows.extend_from_slice(p.row(i)),
+                None => rows.extend(builder.build(&ctx.x, i, end, spec.w)),
+            }
             labels.push(y >= 0.5);
         }
     }
@@ -242,9 +264,7 @@ pub fn fit_and_forecast(
     spec: &WindowSpec,
     config: &ClassifierConfig,
 ) -> Option<FittedClassifier> {
-    let data = assemble_training(ctx, spec, config.representation, config.train_days)?;
-    let (f0, _f1) = forecast_window_days(spec)?;
-    let _ = f0;
+    let data = assemble_training(ctx, spec, config)?;
     let builder = config.representation.builder();
     let n_train = data.n_samples();
     let n_train_pos = (0..n_train).filter(|&i| data.label(i)).count();
@@ -299,8 +319,17 @@ pub fn fit_and_forecast(
         }
     }
 
+    // Forecast side: the fresh window ending at `t` is itself a
+    // shareable plane (same key for every h at a given (t, w)).
+    let forecast_plane = config
+        .plane_cache
+        .as_ref()
+        .map(|cache| cache.get_or_build(builder, &ctx.x, spec.t, spec.w));
     let mut predictions: Vec<f64> = (0..ctx.n_sectors())
-        .map(|i| predict(&builder.build(&ctx.x, i, spec.t, spec.w)))
+        .map(|i| match &forecast_plane {
+            Some(p) => predict(p.row(i)),
+            None => predict(&builder.build(&ctx.x, i, spec.t, spec.w)),
+        })
         .collect();
     // Deterministic informative tie-break: at reduced scale many
     // sectors share the exact same ensemble probability (granularity
@@ -362,6 +391,7 @@ mod tests {
             forest_threads: Some(2),
             cancel: None,
             split: SplitStrategy::default(),
+            plane_cache: None,
         }
     }
 
@@ -456,6 +486,32 @@ mod tests {
         let cols = fitted.column_importances();
         let score_mass: f64 = cols[26..30].iter().sum();
         assert!(score_mass > 0.2, "score columns carry {score_mass}");
+    }
+
+    #[test]
+    fn cached_fit_matches_uncached_bitwise() {
+        let c = ctx();
+        let spec = WindowSpec::new(16, 2, 7);
+        for kind in [ClassifierKind::Tree, ClassifierKind::Forest, ClassifierKind::Gbdt] {
+            for repr in
+                [Representation::Raw, Representation::Percentiles, Representation::HandCrafted]
+            {
+                let base = small_config(kind, repr);
+                let cached_config = ClassifierConfig {
+                    plane_cache: Some(Arc::new(PlaneCache::new(usize::MAX))),
+                    ..base.clone()
+                };
+                let plain = fit_and_forecast(&c, &spec, &base).unwrap();
+                let cached = fit_and_forecast(&c, &spec, &cached_config).unwrap();
+                assert_eq!(
+                    format!("{:?}", plain.predictions),
+                    format!("{:?}", cached.predictions),
+                    "{kind:?}/{repr:?} cached fit diverged"
+                );
+                let stats = cached_config.plane_cache.as_ref().unwrap().stats();
+                assert!(stats.builds > 0);
+            }
+        }
     }
 
     #[test]

@@ -32,10 +32,81 @@ pub struct ForecastContext {
     pub x: Tensor3,
     /// Daily score matrix `Sᵈ`.
     pub s_daily: Matrix,
+    /// Prefix-sum tables over `Sᵈ` — O(1) trailing-window means for
+    /// the Average/Trend baselines (built once per context, reused by
+    /// every grid cell).
+    pub daily_prefix: DailyPrefix,
     /// The label matrix being forecast (daily resolution).
     pub target: Matrix,
     /// Which target this context carries.
     pub which: Target,
+}
+
+/// Per-sector cumulative `(sum, count)` tables over a daily matrix,
+/// skipping `NaN` entries exactly like [`hotspot_core::integrate::mu`]:
+/// a trailing-window mean becomes two table lookups instead of an
+/// O(window) scan. Note the one observable (and deliberate) numeric
+/// difference from the sequential scan: the mean is computed as a
+/// *difference of prefix sums*, whose low-order rounding can differ
+/// from left-to-right summation by ~1 ulp. Every baseline caller uses
+/// this path unconditionally, so results remain deterministic and
+/// identical across cached/uncached, sharded, and resumed runs.
+#[derive(Debug, Clone)]
+pub struct DailyPrefix {
+    n_days: usize,
+    /// `sums[i·(n_days+1) + j]` = sum of non-NaN `row(i)[..j]`.
+    sums: Vec<f64>,
+    /// Matching non-NaN counts.
+    counts: Vec<u32>,
+}
+
+impl DailyPrefix {
+    /// Build the tables from a daily matrix (rows = sectors).
+    pub fn from_daily(daily: &Matrix) -> Self {
+        let n_days = daily.cols();
+        let stride = n_days + 1;
+        let mut sums = vec![0.0; daily.rows() * stride];
+        let mut counts = vec![0u32; daily.rows() * stride];
+        for i in 0..daily.rows() {
+            let base = i * stride;
+            let mut sum = 0.0;
+            let mut count = 0u32;
+            for (j, &v) in daily.row(i).iter().enumerate() {
+                if !v.is_nan() {
+                    sum += v;
+                    count += 1;
+                }
+                sums[base + j + 1] = sum;
+                counts[base + j + 1] = count;
+            }
+        }
+        DailyPrefix { n_days, sums, counts }
+    }
+
+    /// Mean of the non-NaN entries in sector `i`'s trailing window
+    /// `[j+1−window, j+1)` (clamped at day 0) — the O(1) counterpart
+    /// of `trailing_mean(row(i), j, window)`. `NaN` when the window
+    /// holds no finite value.
+    ///
+    /// # Panics
+    /// Panics when `j` is outside the table's day range.
+    pub fn trailing_mean(&self, i: usize, j: usize, window: usize) -> f64 {
+        assert!(j < self.n_days, "trailing_mean: index out of range");
+        let end = j + 1;
+        let start = end.saturating_sub(window.max(1));
+        let base = i * (self.n_days + 1);
+        let count = self.counts[base + end] - self.counts[base + start];
+        if count == 0 {
+            f64::NAN
+        } else {
+            (self.sums[base + end] - self.sums[base + start]) / count as f64
+        }
+    }
+
+    /// Number of days covered by the tables.
+    pub fn n_days(&self) -> usize {
+        self.n_days
+    }
 }
 
 impl ForecastContext {
@@ -54,7 +125,8 @@ impl ForecastContext {
             Target::BeHotSpot => scored.y_daily.clone(),
             Target::BecomeHotSpot => scored.y_become.clone(),
         };
-        Ok(ForecastContext { x, s_daily: scored.s_daily.clone(), target, which })
+        let daily_prefix = DailyPrefix::from_daily(&scored.s_daily);
+        Ok(ForecastContext { x, s_daily: scored.s_daily.clone(), daily_prefix, target, which })
     }
 
     /// Number of sectors.
@@ -112,6 +184,36 @@ mod tests {
         assert!(!ctx.labels_at(20)[1]);
         assert_eq!(ctx.positives_at(20), 1);
         assert_eq!(ctx.positives_at(3), 0);
+    }
+
+    #[test]
+    fn daily_prefix_matches_sequential_trailing_mean() {
+        use hotspot_core::integrate::trailing_mean;
+        // Mix of values and NaN runs, including an all-NaN prefix.
+        let m = Matrix::from_fn(3, 10, |i, j| match (i, j) {
+            (0, _) => (j * j) as f64 * 0.37 - 1.0,
+            (1, 0..=3) => f64::NAN,
+            (1, _) => j as f64,
+            (_, j) if j % 2 == 0 => f64::NAN,
+            (_, j) => -(j as f64),
+        });
+        let prefix = DailyPrefix::from_daily(&m);
+        assert_eq!(prefix.n_days(), 10);
+        for i in 0..3 {
+            for j in 0..10 {
+                for window in [1usize, 2, 3, 7, 100] {
+                    let fast = prefix.trailing_mean(i, j, window);
+                    let slow = trailing_mean(m.row(i), j, window);
+                    assert!(
+                        fast == slow || (fast.is_nan() && slow.is_nan()) ||
+                            (fast - slow).abs() <= 1e-12 * slow.abs().max(1.0),
+                        "({i}, {j}, {window}): fast {fast} vs slow {slow}"
+                    );
+                }
+            }
+        }
+        // Zero-window clamps to 1 like the sequential version.
+        assert_eq!(prefix.trailing_mean(0, 4, 0), trailing_mean(m.row(0), 4, 0));
     }
 
     #[test]

@@ -109,6 +109,7 @@ impl ModelSpec {
             forest_threads: None,
             cancel: None,
             split,
+            plane_cache: None,
         })
     }
 

@@ -17,6 +17,8 @@
 use super::collector::{merge_shards, MergedSweep, ShardFiles};
 use super::plan::{CellKey, ShardSpec, SweepPlan};
 use super::{splitmix, CellOutcome, SweepCell, SweepConfig};
+use hotspot_features::plane::PlaneCache;
+use std::sync::Arc;
 use crate::checkpoint::{config_fingerprint, load_checkpoint_sharded, CheckpointWriter};
 use crate::classifier::fit_and_forecast;
 use crate::context::ForecastContext;
@@ -64,6 +66,11 @@ pub struct InProcessExecutor<'a> {
     /// Optional append-only checkpoint journal; existing cells are
     /// adopted instead of recomputed.
     pub checkpoint: Option<PathBuf>,
+    /// Externally supplied feature-plane cache. `None` (the normal
+    /// case) builds one per `execute()` from
+    /// `config.feature_cache`; tests and benches inject a cache here
+    /// to observe its per-instance statistics.
+    pub plane_cache: Option<Arc<PlaneCache>>,
 }
 
 impl SweepExecutor for InProcessExecutor<'_> {
@@ -79,6 +86,11 @@ impl SweepExecutor for InProcessExecutor<'_> {
             ));
         }
         let combos = plan.shard_cells(self.shard);
+        // One cache per execution, shared by every worker thread (and
+        // both sides of every classifier fit). Byte-transparent: see
+        // `FeatureCacheConfig`.
+        let plane_cache =
+            self.plane_cache.clone().or_else(|| config.feature_cache.build());
 
         let mut done: HashMap<CellKey, SweepCell> = HashMap::new();
         let writer = match &self.checkpoint {
@@ -110,7 +122,15 @@ impl SweepExecutor for InProcessExecutor<'_> {
                     let cell = match done.get(&key) {
                         Some(prev) => prev.clone(),
                         None => {
-                            let cell = run_cell_resilient(self.ctx, config, key.model, key.t, key.h, key.w);
+                            let cell = run_cell_resilient(
+                                self.ctx,
+                                config,
+                                plane_cache.as_ref(),
+                                key.model,
+                                key.t,
+                                key.h,
+                                key.w,
+                            );
                             if let Some(writer) = &writer {
                                 if let Err(e) = writer.append(&cell) {
                                     write_error.lock().get_or_insert(e);
@@ -263,9 +283,11 @@ fn attempt_seed(seed: u64, attempt: u32) -> u64 {
     }
 }
 
+#[allow(clippy::too_many_arguments)] // a cell is its full coordinate tuple
 fn run_cell_resilient(
     ctx: &ForecastContext,
     config: &SweepConfig,
+    plane_cache: Option<&Arc<PlaneCache>>,
     model: ModelSpec,
     t: usize,
     h: usize,
@@ -282,7 +304,7 @@ fn run_cell_resilient(
             .cell_deadline_ms
             .map(|ms| CancelToken::with_deadline(Duration::from_millis(ms)));
         let attempt = catch_unwind(AssertUnwindSafe(|| {
-            run_cell_once(ctx, config, model, t, h, w, attempts, cancel.as_ref())
+            run_cell_once(ctx, config, plane_cache, model, t, h, w, attempts, cancel.as_ref())
         }));
         let elapsed_ms = started.elapsed().as_millis() as u64;
         match attempt {
@@ -329,6 +351,7 @@ fn run_cell_resilient(
 fn run_cell_once(
     ctx: &ForecastContext,
     config: &SweepConfig,
+    plane_cache: Option<&Arc<PlaneCache>>,
     model: ModelSpec,
     t: usize,
     h: usize,
@@ -350,6 +373,7 @@ fn run_cell_once(
             .expect("classifier");
         cc.forest_threads = Some(1); // the sweep already parallelises
         cc.cancel = cancel.cloned();
+        cc.plane_cache = plane_cache.cloned();
         fit_and_forecast(ctx, &spec, &cc).map(|f| f.predictions)
     } else {
         model.forecast(ctx, &spec, config.n_trees, config.train_days, seed, config.split)
@@ -401,6 +425,7 @@ mod tests {
             n_threads: Some(1),
             resilience: ResiliencePolicy::default(),
             split: hotspot_trees::SplitStrategy::default(),
+            feature_cache: crate::sweep::FeatureCacheConfig::default(),
         };
         // A context is expensive; the fingerprint check fires before
         // any cell runs, so a minimal one suffices.
@@ -416,8 +441,13 @@ mod tests {
             ForecastContext::build(&kpis, &scored, crate::context::Target::BeHotSpot).unwrap();
         let plan = SweepPlan::new(&mk(1));
         let other = mk(2);
-        let exec =
-            InProcessExecutor { ctx: &ctx, config: &other, shard: ShardSpec::FULL, checkpoint: None };
+        let exec = InProcessExecutor {
+            ctx: &ctx,
+            config: &other,
+            shard: ShardSpec::FULL,
+            checkpoint: None,
+            plane_cache: None,
+        };
         let err = exec.execute(&plan).unwrap_err();
         assert!(matches!(err, CoreError::InvalidConfig(_)), "{err:?}");
     }

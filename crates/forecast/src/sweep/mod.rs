@@ -39,8 +39,10 @@ use crate::context::ForecastContext;
 use crate::evaluate::EvalRecord;
 use crate::models::ModelSpec;
 use hotspot_core::error::Result as CoreResult;
+use hotspot_features::plane::PlaneCache;
 use hotspot_trees::SplitStrategy;
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// The paper's Table III grid values.
@@ -149,6 +151,42 @@ impl Default for ResiliencePolicy {
     }
 }
 
+/// Feature-plane cache knobs. Execution plumbing, not science: the
+/// cache is byte-transparent (cached and uncached sweeps produce
+/// identical artifacts), so this struct is **excluded from the config
+/// fingerprint** — cached runs may resume uncached checkpoints and
+/// vice versa.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeatureCacheConfig {
+    /// Whether classifier cells share feature planes at all.
+    pub enabled: bool,
+    /// Byte budget for resident planes, in MiB. Exceeding it evicts
+    /// least-recently-used planes (they rebuild on next use).
+    pub budget_mb: usize,
+}
+
+impl FeatureCacheConfig {
+    /// Default byte budget (MiB).
+    pub const DEFAULT_BUDGET_MB: usize = 256;
+
+    /// Disabled cache (every cell featurises from scratch).
+    pub fn off() -> Self {
+        FeatureCacheConfig { enabled: false, budget_mb: Self::DEFAULT_BUDGET_MB }
+    }
+
+    /// Instantiate the process-wide cache this config describes.
+    pub fn build(&self) -> Option<Arc<PlaneCache>> {
+        self.enabled
+            .then(|| Arc::new(PlaneCache::new(self.budget_mb.saturating_mul(1024 * 1024))))
+    }
+}
+
+impl Default for FeatureCacheConfig {
+    fn default() -> Self {
+        FeatureCacheConfig { enabled: true, budget_mb: Self::DEFAULT_BUDGET_MB }
+    }
+}
+
 /// Sweep configuration.
 #[derive(Debug, Clone)]
 pub struct SweepConfig {
@@ -174,6 +212,8 @@ pub struct SweepConfig {
     pub resilience: ResiliencePolicy,
     /// Split-search strategy for every tree-based model in the grid.
     pub split: SplitStrategy,
+    /// Feature-plane cache knobs (fingerprint-excluded plumbing).
+    pub feature_cache: FeatureCacheConfig,
 }
 
 impl SweepConfig {
@@ -192,6 +232,7 @@ impl SweepConfig {
             n_threads: None,
             resilience: ResiliencePolicy::default(),
             split: SplitStrategy::default(),
+            feature_cache: FeatureCacheConfig::default(),
         }
     }
 }
@@ -451,6 +492,7 @@ pub fn run_sweep_resumable(
         config,
         shard: ShardSpec::FULL,
         checkpoint: checkpoint.map(Path::to_path_buf),
+        plane_cache: None,
     };
     Ok(SweepResult::from_cells(executor.execute(&plan)?))
 }
@@ -492,6 +534,7 @@ mod tests {
             n_threads: Some(2),
             resilience: ResiliencePolicy::default(),
             split: SplitStrategy::default(),
+            feature_cache: FeatureCacheConfig::default(),
         }
     }
 

@@ -196,6 +196,7 @@ mod tests {
             n_threads: Some(2),
             resilience: ResiliencePolicy::default(),
             split: SplitStrategy::default(),
+            feature_cache: crate::sweep::FeatureCacheConfig::default(),
         }
     }
 

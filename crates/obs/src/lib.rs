@@ -39,6 +39,7 @@ pub mod logger;
 pub mod manifest;
 pub mod metrics;
 pub mod span;
+pub mod trace;
 
 pub use json::Json;
 pub use logger::{
@@ -51,6 +52,7 @@ pub use manifest::{
 };
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Obs, SpanStat};
 pub use span::SpanGuard;
+pub use trace::{clear_trace_sink, set_trace_sink, trace_active};
 
 use std::sync::OnceLock;
 

@@ -21,20 +21,28 @@ thread_local! {
     static STACK: RefCell<Vec<(u64, String)>> = const { RefCell::new(Vec::new()) };
 }
 
-/// Live span; records its wall-clock duration on drop.
+/// Live span; records its wall-clock duration on drop. While a trace
+/// sink is installed (see [`crate::trace`]), recorded spans also emit
+/// chrome-tracing begin/end events keyed by their full path.
 #[must_use = "a span measures the scope it is bound to; dropping it immediately records ~0ns"]
 #[derive(Debug)]
 pub struct SpanGuard<'a> {
     obs: Option<&'a Obs>,
     path: String,
     start: Instant,
+    traced: bool,
 }
 
 impl<'a> SpanGuard<'a> {
     /// Enter a span on `obs`. Prefer [`crate::span`] / [`Obs::span`].
     pub(crate) fn enter(obs: &'a Obs, name: &str) -> SpanGuard<'a> {
         if !obs.spans_enabled() {
-            return SpanGuard { obs: None, path: String::new(), start: Instant::now() };
+            return SpanGuard {
+                obs: None,
+                path: String::new(),
+                start: Instant::now(),
+                traced: false,
+            };
         }
         let path = STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
@@ -45,7 +53,12 @@ impl<'a> SpanGuard<'a> {
             stack.push((obs.id(), path.clone()));
             path
         });
-        SpanGuard { obs: Some(obs), path, start: Instant::now() }
+        let start = Instant::now();
+        let traced = crate::trace::trace_active();
+        if traced {
+            crate::trace::emit('B', &path, start);
+        }
+        SpanGuard { obs: Some(obs), path, start, traced }
     }
 
     /// The `/`-joined path this span records under (empty when inert).
@@ -57,7 +70,11 @@ impl<'a> SpanGuard<'a> {
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
         let Some(obs) = self.obs else { return };
-        let nanos = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let end = Instant::now();
+        if self.traced {
+            crate::trace::emit('E', &self.path, end);
+        }
+        let nanos = end.duration_since(self.start).as_nanos().min(u64::MAX as u128) as u64;
         STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
             // Normally the top of stack; scan back to stay correct if

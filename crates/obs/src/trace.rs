@@ -1,0 +1,159 @@
+//! Flamegraph-style span export: streaming chrome-tracing events.
+//!
+//! Aggregated span statistics (the [`crate::metrics`] side) answer
+//! "where did the time go in total"; they cannot show *when* each
+//! span ran or how work overlapped across threads. This module adds
+//! the timeline view: while a trace sink is installed, every recorded
+//! span additionally emits a begin/end event pair in the Chrome Trace
+//! Event format (duration events, `"ph": "B"` / `"ph": "E"`), one
+//! JSON object per line. Load the file in `about://tracing` or
+//! Perfetto and a sweep renders as a per-thread flamegraph.
+//!
+//! The writer is deliberately simple and crash-tolerant:
+//!
+//! * the file opens with `[` and events are appended `{...},\n` —
+//!   the trace-event spec tolerates a missing closing `]`, so a run
+//!   killed mid-sweep still leaves a loadable trace;
+//! * timestamps are microseconds since the sink was installed
+//!   (monotonic, from one shared [`Instant`] epoch);
+//! * thread ids are small dense integers assigned on first use per
+//!   OS thread, so lanes are stable within a run;
+//! * emission is skipped entirely (one relaxed atomic load) when no
+//!   sink is installed, keeping the span hot path at its usual cost.
+//!
+//! Exporting is process-global like the rest of the registry: the
+//! bench harness installs a sink for `--trace-out` and clears it when
+//! the experiment ends.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+struct TraceSink {
+    out: BufWriter<File>,
+    epoch: Instant,
+}
+
+static SINK: Mutex<Option<TraceSink>> = Mutex::new(None);
+/// Mirrors `SINK.is_some()` so the hot path never touches the mutex
+/// when tracing is off.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Whether a trace sink is currently installed.
+pub fn trace_active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Install a chrome-tracing sink at `path` (truncating any existing
+/// file) and start emitting begin/end events for every recorded span.
+/// The timestamp epoch resets to now.
+///
+/// # Errors
+/// Propagates file creation failures.
+pub fn set_trace_sink(path: &Path) -> std::io::Result<()> {
+    let mut out = BufWriter::new(File::create(path)?);
+    out.write_all(b"[\n")?;
+    let mut sink = SINK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    *sink = Some(TraceSink { out, epoch: Instant::now() });
+    ACTIVE.store(true, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Flush and remove the trace sink (no-op when none is installed).
+/// The file is left without its closing `]`, which trace viewers
+/// accept by design.
+pub fn clear_trace_sink() {
+    let mut sink = SINK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(mut s) = sink.take() {
+        let _ = s.out.flush();
+    }
+    ACTIVE.store(false, Ordering::Relaxed);
+}
+
+/// Emit one duration event. `phase` is `'B'` or `'E'`; `at` must come
+/// from the same monotonic clock as the sink epoch (span start/end
+/// instants do).
+pub(crate) fn emit(phase: char, name: &str, at: Instant) {
+    let mut sink = SINK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let Some(s) = sink.as_mut() else { return };
+    // Spans entered before the sink was installed clamp to 0.
+    let ts = at.saturating_duration_since(s.epoch).as_nanos() as f64 / 1000.0;
+    let tid = TID.with(|t| *t);
+    let _ = writeln!(
+        s.out,
+        "{{\"name\":\"{}\",\"ph\":\"{phase}\",\"ts\":{ts},\"pid\":{},\"tid\":{tid}}},",
+        escape(name),
+        std::process::id(),
+    );
+}
+
+fn escape(s: &str) -> String {
+    if !s.contains(['"', '\\']) {
+        return s.to_string();
+    }
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Obs;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("hotspot-trace-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    // The sink is process-global, so all assertions live in one test
+    // to avoid interleaving with parallel test threads.
+    #[test]
+    fn sink_streams_span_pairs() {
+        let path = tmp("trace.json");
+        assert!(!trace_active());
+        set_trace_sink(&path).unwrap();
+        assert!(trace_active());
+        {
+            // A private registry (spans enabled) drives the guards;
+            // the sink itself is global.
+            let obs = Obs::new();
+            let _outer = obs.span("sweep");
+            let _inner = obs.span("sweep.cell \"quoted\"");
+        }
+        clear_trace_sink();
+        assert!(!trace_active());
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with("[\n"), "{body}");
+        let lines: Vec<&str> = body.lines().skip(1).collect();
+        assert_eq!(lines.len(), 4, "2 spans × B/E: {body}");
+        assert!(lines[0].contains("\"name\":\"sweep\"") && lines[0].contains("\"ph\":\"B\""));
+        assert!(lines[1].contains("\"ph\":\"B\"") && lines[1].contains("\\\"quoted\\\""));
+        // Guards drop inner-first.
+        assert!(lines[2].contains("\"ph\":\"E\""));
+        assert!(lines[3].contains("\"name\":\"sweep\"") && lines[3].contains("\"ph\":\"E\""));
+        // Timestamps are non-decreasing numbers.
+        let ts: Vec<f64> = lines
+            .iter()
+            .map(|l| {
+                let tail = l.split("\"ts\":").nth(1).unwrap();
+                tail.split(',').next().unwrap().parse().unwrap()
+            })
+            .collect();
+        assert!(ts.windows(2).all(|p| p[0] <= p[1]), "{ts:?}");
+
+        // After clearing, spans emit nothing.
+        {
+            let obs = Obs::new();
+            let _s = obs.span("after");
+        }
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), body);
+    }
+}

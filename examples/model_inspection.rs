@@ -81,6 +81,7 @@ fn main() {
         forest_threads: None,
         cancel: None,
         split: Default::default(),
+        plane_cache: None,
     };
     let mut all_labels = Vec::new();
     let mut all_probs = Vec::new();

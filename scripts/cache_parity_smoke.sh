@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Feature-plane cache parity smoke: the cache's byte-transparency
+# invariant, end to end across real processes.
+#
+# Runs the same reduced Table III sweep twice — once with the
+# feature-plane cache at its default budget, once with --feature-cache
+# off — and asserts the deterministic artifacts are byte-identical:
+#
+#   <base>.merged.tsv           canonical TSV (plan order, no wall clock)
+#   <base>.merged.metrics.json  deterministic metrics projection
+#
+# The cache must never move a number; it may only move wall-clock time
+# (scripts/perf_baseline.sh measures that side).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=target/cache-parity-smoke
+rm -rf "$OUT"
+mkdir -p "$OUT/cached" "$OUT/uncached"
+
+cargo build --release -p hotspot-bench --bin sweep_worker
+
+# Same reduced grid as sweep_shard_smoke.sh: every cell evaluates, so
+# the TSV carries real floats rather than NaN placeholders.
+ARGS=(--sectors 80 --weeks 10 --seed 7 --trees 8 --train-days 4 --t-step 12)
+
+echo '>>> cache parity smoke: cached run (default budget)'
+./target/release/sweep_worker "${ARGS[@]}" --checkpoint "$OUT/cached/sweep.tsv"
+
+echo '>>> cache parity smoke: uncached run (--feature-cache off)'
+./target/release/sweep_worker "${ARGS[@]}" --feature-cache off \
+  --checkpoint "$OUT/uncached/sweep.tsv"
+
+echo '>>> cache parity smoke: byte identity (TSV + metrics projection)'
+cmp "$OUT/cached/sweep.merged.tsv" "$OUT/uncached/sweep.merged.tsv"
+cmp "$OUT/cached/sweep.merged.metrics.json" "$OUT/uncached/sweep.merged.metrics.json"
+
+echo 'cache parity smoke passed.'

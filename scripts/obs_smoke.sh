@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Observability smoke: run one small experiment end to end with
-# --manifest/--metrics-out and assert the artifacts exist and parse.
+# --manifest/--metrics-out/--trace-out and assert the artifacts exist
+# and parse.
 #
 # fig02 exercises the full preparation pipeline (simulate → firewall →
 # impute → score), so the manifest carries real counters and spans
@@ -19,9 +20,17 @@ echo '>>> obs smoke: exp_fig02_score_labels --sectors 40 --weeks 3'
   --sectors 40 --weeks 3 --seed 7 --log-level debug \
   --manifest "$OUT/run.manifest.json" \
   --metrics-out "$OUT/run.metrics.jsonl" \
+  --trace-out "$OUT/run.trace.json" \
   > "$OUT/run.tsv"
 
 test -s "$OUT/run.tsv" || { echo 'obs smoke: empty TSV' >&2; exit 1; }
 ./target/release/manifest_check "$OUT/run.manifest.json" "$OUT/run.metrics.jsonl"
+
+echo '>>> obs smoke: chrome-tracing export'
+test -s "$OUT/run.trace.json" || { echo 'obs smoke: empty trace' >&2; exit 1; }
+head -c1 "$OUT/run.trace.json" | grep -q '\[' \
+  || { echo 'obs smoke: trace does not open a JSON array' >&2; exit 1; }
+grep -q '"ph"' "$OUT/run.trace.json" \
+  || { echo 'obs smoke: trace has no begin/end events' >&2; exit 1; }
 
 echo 'obs smoke passed.'

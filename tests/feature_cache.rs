@@ -1,0 +1,232 @@
+//! The feature-plane cache's one hard invariant, end to end: a cached
+//! sweep is **byte-identical** to an uncached one — same canonical
+//! TSV, same health — for any budget, split strategy, shard topology,
+//! or checkpoint-resume history. The cache may only move wall-clock
+//! time, never a number.
+//!
+//! All cache-behaviour assertions use an injected
+//! [`PlaneCache`]'s per-instance [`PlaneCache::stats`]; the global
+//! observability counters are shared across this test process and are
+//! never asserted here.
+
+use hotspot::features::PlaneCache;
+use hotspot::forecast::context::{ForecastContext, Target};
+use hotspot::forecast::models::ModelSpec;
+use hotspot::forecast::sweep::{
+    canonical_tsv, merge_shards, run_sweep, FeatureCacheConfig, InProcessExecutor,
+    ResiliencePolicy, ShardFiles, ShardSpec, SweepConfig, SweepExecutor, SweepPlan, SweepResult,
+};
+use hotspot::trees::SplitStrategy;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+
+/// Shared 10-sector synthetic context (hot weekday-business-hours
+/// cluster in sectors 0–2); building it is the expensive part, so the
+/// whole suite reuses one.
+fn ctx() -> &'static ForecastContext {
+    static CTX: OnceLock<ForecastContext> = OnceLock::new();
+    CTX.get_or_init(|| {
+        let catalog = hotspot::core::kpi::KpiCatalog::standard();
+        let kpis = hotspot::core::tensor::Tensor3::from_fn(
+            10,
+            hotspot::core::HOURS_PER_WEEK * 6,
+            21,
+            |i, j, k| {
+                let def = &catalog.defs()[k];
+                let dow = (j / 24) % 7;
+                if i < 3 && (6..22).contains(&(j % 24)) && dow < 5 {
+                    def.degraded
+                } else {
+                    def.nominal
+                }
+            },
+        );
+        let scored = hotspot::core::pipeline::ScorePipeline::standard().run(&kpis).unwrap();
+        ForecastContext::build(&kpis, &scored, Target::BeHotSpot).unwrap()
+    })
+}
+
+/// A reduced classifier grid (classifiers are the only consumers of
+/// feature planes, so parity must be exercised through one).
+fn config(
+    ts: Vec<usize>,
+    hs: Vec<usize>,
+    seed: u64,
+    n_threads: usize,
+    split: SplitStrategy,
+    feature_cache: FeatureCacheConfig,
+) -> SweepConfig {
+    SweepConfig {
+        models: vec![ModelSpec::Average, ModelSpec::RfF1],
+        ts,
+        hs,
+        ws: vec![3],
+        n_trees: 4,
+        train_days: 4,
+        random_repeats: 5,
+        seed,
+        n_threads: Some(n_threads),
+        resilience: ResiliencePolicy::default(),
+        split,
+        feature_cache,
+    }
+}
+
+fn tsv(cfg: &SweepConfig, result: &SweepResult) -> String {
+    canonical_tsv(&SweepPlan::new(cfg), result).expect("complete sweep renders")
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("hotspot-feature-cache-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Execute the full (unsharded) plan with an injected cache, so the
+/// test can read that cache's private stats afterwards.
+fn run_with_cache(
+    cfg: &SweepConfig,
+    cache: &Arc<PlaneCache>,
+    checkpoint: Option<PathBuf>,
+) -> SweepResult {
+    let plan = SweepPlan::new(cfg);
+    let cells = InProcessExecutor {
+        ctx: ctx(),
+        config: cfg,
+        shard: ShardSpec::FULL,
+        checkpoint,
+        plane_cache: Some(Arc::clone(cache)),
+    }
+    .execute(&plan)
+    .unwrap();
+    SweepResult::from_cells(cells)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Cached and uncached sweeps are byte-identical for every budget,
+    /// split strategy, seed, and thread count.
+    #[test]
+    fn cached_sweep_is_byte_identical_to_uncached(
+        n_ts in 1usize..3,
+        both_hs in any::<bool>(),
+        seed in 1u64..5,
+        n_threads in 1usize..3,
+        exact in any::<bool>(),
+        tiny_budget in any::<bool>(),
+    ) {
+        let ts = vec![20, 24][..n_ts].to_vec();
+        let hs = if both_hs { vec![1, 3] } else { vec![1] };
+        let split = if exact { SplitStrategy::Exact } else { SplitStrategy::default() };
+        let cache = FeatureCacheConfig {
+            enabled: true,
+            budget_mb: if tiny_budget { 1 } else { FeatureCacheConfig::DEFAULT_BUDGET_MB },
+        };
+
+        let cached_cfg = config(ts.clone(), hs.clone(), seed, n_threads, split, cache);
+        let uncached_cfg = config(ts, hs, seed, n_threads, split, FeatureCacheConfig::off());
+
+        let cached = run_sweep(ctx(), &cached_cfg);
+        let uncached = run_sweep(ctx(), &uncached_cfg);
+        prop_assert!(cached.health.is_clean());
+        prop_assert_eq!(
+            tsv(&cached_cfg, &cached),
+            tsv(&uncached_cfg, &uncached),
+            "cache must be byte-transparent"
+        );
+    }
+}
+
+/// A 2-shard cached run merges to the same bytes as an uncached
+/// single-process sweep: per-shard caches cannot leak state into the
+/// results.
+#[test]
+fn sharded_cached_run_merges_to_uncached_single_process() {
+    let cached_cfg = config(
+        vec![20, 24],
+        vec![1, 3],
+        3,
+        2,
+        SplitStrategy::default(),
+        FeatureCacheConfig::default(),
+    );
+    let uncached_cfg =
+        SweepConfig { feature_cache: FeatureCacheConfig::off(), ..cached_cfg.clone() };
+    let plan = SweepPlan::new(&cached_cfg);
+    let dir = scratch_dir("sharded");
+    let base = dir.join("sweep.tsv");
+    const N: u64 = 2;
+    let files: Vec<ShardFiles> = (0..N)
+        .map(|index| {
+            let shard = ShardSpec { index, count: N };
+            let files = ShardFiles::for_base(&base, shard);
+            InProcessExecutor {
+                ctx: ctx(),
+                config: &cached_cfg,
+                shard,
+                checkpoint: Some(files.checkpoint.clone()),
+                plane_cache: None,
+            }
+            .execute(&plan)
+            .unwrap();
+            files
+        })
+        .collect();
+    let merged = merge_shards(&plan, &files).unwrap();
+    let uncached = run_sweep(ctx(), &uncached_cfg);
+    assert_eq!(
+        canonical_tsv(&plan, &merged.result).unwrap(),
+        tsv(&uncached_cfg, &uncached),
+        "sharded cached merge must equal the uncached single-process sweep"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Resuming a finished checkpoint adopts every cell without touching
+/// the feature cache, and re-executing against a warm shared cache
+/// builds nothing new — build-at-most-once across executes.
+#[test]
+fn resume_and_warm_cache_build_nothing_new() {
+    let cfg = config(
+        vec![20, 24],
+        vec![1, 3],
+        3,
+        2,
+        SplitStrategy::default(),
+        FeatureCacheConfig::default(),
+    );
+    let dir = scratch_dir("resume");
+    let checkpoint = dir.join("sweep.tsv");
+
+    // Fresh run journaling to the checkpoint: planes get built.
+    let warm = Arc::new(PlaneCache::new(256 << 20));
+    let first = run_with_cache(&cfg, &warm, Some(checkpoint.clone()));
+    let after_first = warm.stats();
+    assert!(first.health.is_clean());
+    assert!(after_first.builds > 0, "a classifier sweep must build planes");
+    assert_eq!(after_first.evictions, 0, "an ample budget must not evict");
+
+    // Resume from the complete journal: every cell is adopted, so the
+    // cache (a fresh one — nothing warm to serve from) sees no traffic.
+    let idle = Arc::new(PlaneCache::new(256 << 20));
+    let resumed = run_with_cache(&cfg, &idle, Some(checkpoint.clone()));
+    assert_eq!(idle.stats().builds, 0, "adopted cells must not featurise");
+    assert_eq!(resumed.health.resumed, first.cells.len(), "every journaled cell is adopted");
+    assert_eq!(tsv(&cfg, &resumed), tsv(&cfg, &first), "resume must reproduce the run");
+
+    // Re-execute (no checkpoint) against the warm cache: identical
+    // bytes, zero new builds, and the replay is served from cache.
+    let replay = run_with_cache(&cfg, &warm, None);
+    let after_replay = warm.stats();
+    assert_eq!(
+        after_replay.builds, after_first.builds,
+        "a warm cache must build nothing new (build-at-most-once)"
+    );
+    assert!(after_replay.hits > after_first.hits, "the replay must hit the cache");
+    assert_eq!(tsv(&cfg, &replay), tsv(&cfg, &first), "warm replay must reproduce the run");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -40,6 +40,7 @@ fn config() -> SweepConfig {
         n_threads: Some(2),
         resilience: ResiliencePolicy::default(),
         split: Default::default(),
+        feature_cache: Default::default(),
     }
 }
 

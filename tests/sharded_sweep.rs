@@ -53,6 +53,7 @@ fn config(models: Vec<ModelSpec>, ts: Vec<usize>, hs: Vec<usize>, ws: Vec<usize>
         n_threads: Some(2),
         resilience: ResiliencePolicy::default(),
         split: Default::default(),
+        feature_cache: Default::default(),
     }
 }
 
@@ -76,6 +77,7 @@ fn run_shards(cfg: &SweepConfig, plan: &SweepPlan, base: &Path, n: u64) -> Vec<S
                 config: cfg,
                 shard,
                 checkpoint: Some(files.checkpoint.clone()),
+                plane_cache: None,
             };
             executor.execute(plan).unwrap();
             files
@@ -175,6 +177,7 @@ fn killed_worker_resumes_and_remerges_identically() {
         config: &cfg,
         shard,
         checkpoint: Some(victim_files.checkpoint.clone()),
+        plane_cache: None,
     };
     let cells = executor.execute(&plan).unwrap();
     assert_eq!(cells.len(), plan.shard_cells(shard).len());
@@ -211,6 +214,7 @@ fn mixed_fingerprint_shards_refuse_to_merge() {
         config: &cfg_a,
         shard: shard0,
         checkpoint: Some(files[0].checkpoint.clone()),
+        plane_cache: None,
     }
     .execute(&plan_a)
     .unwrap();
@@ -219,6 +223,7 @@ fn mixed_fingerprint_shards_refuse_to_merge() {
         config: &cfg_b,
         shard: shard1,
         checkpoint: Some(files[1].checkpoint.clone()),
+        plane_cache: None,
     }
     .execute(&plan_b)
     .unwrap();
